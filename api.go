@@ -1,0 +1,160 @@
+package openoptics
+
+import (
+	"openoptics/internal/core"
+	"openoptics/internal/routing"
+	"openoptics/internal/topo"
+)
+
+// This file re-exports the user-facing vocabulary so programs against the
+// framework read like the paper's Fig. 5 snippets without importing
+// internal packages.
+
+// Core types.
+type (
+	// NodeID identifies an endpoint node (ToR, pod switch, or NIC).
+	NodeID = core.NodeID
+	// PortID identifies a port on a node.
+	PortID = core.PortID
+	// HostID identifies a host under a rack node.
+	HostID = core.HostID
+	// Slice is a time-slice index; WildcardSlice matches/means any.
+	Slice = core.Slice
+	// Circuit is one optical circuit (the connect() primitive's result).
+	Circuit = core.Circuit
+	// Path is a routing path for (src, dst, arrival slice).
+	Path = core.Path
+	// Hop is one step of a Path.
+	Hop = core.Hop
+	// TM is a traffic matrix.
+	TM = core.TM
+	// Entry is a raw time-flow table entry (the add() API).
+	Entry = core.Entry
+	// Match is an Entry's match side.
+	Match = core.Match
+	// Action is an Entry's action side.
+	Action = core.Action
+	// LookupMode selects per-hop or source-routing compilation.
+	LookupMode = core.LookupMode
+	// MultipathMode selects packet- or flow-level path hashing.
+	MultipathMode = core.MultipathMode
+	// RoutingOptions tunes the routing algorithms.
+	RoutingOptions = routing.Options
+)
+
+// Deployment option values (the LOOKUP and MULTIPATH arguments).
+const (
+	LookupHop       = core.LookupHop
+	LookupSource    = core.LookupSource
+	MultipathNone   = core.MultipathNone
+	MultipathPacket = core.MultipathPacket
+	MultipathFlow   = core.MultipathFlow
+	WildcardSlice   = core.WildcardSlice
+	NoNode          = core.NoNode
+	NoPort          = core.NoPort
+)
+
+// NewTM returns an n×n zero traffic matrix.
+func NewTM(n int) TM { return core.NewTM(n) }
+
+// Connect is the connect() primitive (Table 1).
+func Connect(a NodeID, pa PortID, b NodeID, pb PortID, ts Slice) Circuit {
+	return topo.Connect(a, pa, b, pb, ts)
+}
+
+// RoundRobin materializes topo() as a single-dimensional TO round-robin
+// schedule (RotorNet, Opera); returns the circuits and cycle length.
+func RoundRobin(n, uplink int) ([]Circuit, int, error) { return topo.RoundRobin(n, uplink) }
+
+// RoundRobinDim materializes topo() as a multi-dimensional TO schedule
+// (Shale).
+func RoundRobinDim(n, dims, uplink int) ([]Circuit, int, error) {
+	return topo.RoundRobinDim(n, dims, uplink)
+}
+
+// UniformMesh returns Jupiter's uniform starting mesh.
+func UniformMesh(n, uplink int) ([]Circuit, error) { return topo.UniformMesh(n, uplink) }
+
+// Edmonds materializes topo() as c-Through-style max-weight matching.
+func Edmonds(tm TM, uplink int) ([]Circuit, error) { return topo.Edmonds(tm, uplink) }
+
+// BvN materializes topo() as a Mordia-style Birkhoff–von-Neumann schedule.
+func BvN(tm TM, maxTerms, numSlices int) ([]Circuit, int, error) {
+	return topo.BvN(tm, maxTerms, numSlices)
+}
+
+// Jupiter materializes topo() as Jupiter's gradual topology evolution.
+func Jupiter(tm TM, prev []Circuit, n, uplink, maxMoves int) ([]Circuit, error) {
+	return topo.Jupiter(tm, prev, n, uplink, maxMoves)
+}
+
+// SORN materializes the semi-oblivious skewed round-robin schedule.
+func SORN(tm TM, n, uplink int, sliceCapacity float64) ([]Circuit, int, error) {
+	return topo.SORN(tm, n, uplink, sliceCapacity)
+}
+
+// connIndex builds the routing view of a circuit set deployed at cycle
+// length numSlices.
+func connIndex(circuits []Circuit, numSlices int, n *Net) *core.ConnIndex {
+	sched := &core.Schedule{
+		NumSlices:     numSlices,
+		SliceDuration: n.sched.SliceDuration,
+		Guard:         n.sched.Guard,
+		Circuits:      circuits,
+	}
+	return core.NewConnIndex(sched)
+}
+
+// Routing materializations (Table 1). Each takes the circuits the topology
+// step produced plus the cycle length, mirroring routing([Circuit]).
+
+// Direct materializes direct-circuit routing.
+func (n *Net) Direct(circuits []Circuit, numSlices int, opt RoutingOptions) []Path {
+	return routing.Direct(connIndex(circuits, numSlices, n), opt)
+}
+
+// ECMP materializes equal-cost multipath over a topology instance.
+func (n *Net) ECMP(circuits []Circuit, opt RoutingOptions) []Path {
+	return routing.ECMP(connIndex(circuits, 1, n), opt)
+}
+
+// WCMP materializes Jupiter-style weighted multipath.
+func (n *Net) WCMP(circuits []Circuit, opt RoutingOptions) []Path {
+	return routing.WCMP(connIndex(circuits, 1, n), opt)
+}
+
+// KSP materializes k-shortest-path routing (Flat-tree).
+func (n *Net) KSP(circuits []Circuit, k int, opt RoutingOptions) []Path {
+	return routing.KSP(connIndex(circuits, 1, n), k, opt)
+}
+
+// VLB materializes Valiant load balancing (RotorNet, Sirius).
+func (n *Net) VLB(circuits []Circuit, numSlices int, opt RoutingOptions) []Path {
+	return routing.VLB(connIndex(circuits, numSlices, n), opt)
+}
+
+// Opera materializes Opera's in-slice expander routing.
+func (n *Net) Opera(circuits []Circuit, numSlices int, opt RoutingOptions) []Path {
+	return routing.Opera(connIndex(circuits, numSlices, n), opt)
+}
+
+// UCMP materializes uniform-cost multipath routing.
+func (n *Net) UCMP(circuits []Circuit, numSlices int, opt RoutingOptions) []Path {
+	return routing.UCMP(connIndex(circuits, numSlices, n), opt)
+}
+
+// HOHO materializes hop-on hop-off routing.
+func (n *Net) HOHO(circuits []Circuit, numSlices int, opt RoutingOptions) []Path {
+	return routing.HOHO(connIndex(circuits, numSlices, n), opt)
+}
+
+// Neighbors is the neighbors() helper (Table 1).
+func (n *Net) Neighbors(circuits []Circuit, numSlices int, node NodeID, ts Slice) []NodeID {
+	return connIndex(circuits, numSlices, n).Neighbors(node, ts)
+}
+
+// EarliestPath is the earliest_path() helper (Table 1).
+func (n *Net) EarliestPath(circuits []Circuit, numSlices int, src, dst NodeID, ts Slice, maxHop int) []Path {
+	return routing.EarliestPaths(connIndex(circuits, numSlices, n), src, dst, ts,
+		routing.Options{MaxHop: maxHop})
+}

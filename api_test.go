@@ -1,0 +1,141 @@
+package openoptics
+
+import (
+	"testing"
+	"time"
+
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+)
+
+// The Table-1 API surface exercised end to end through the public wrappers.
+
+func TestAPITopologyFunctions(t *testing.T) {
+	if _, _, err := RoundRobin(8, 2); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := RoundRobinDim(16, 2, 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := UniformMesh(8, 2); err != nil {
+		t.Error(err)
+	}
+	tm := NewTM(6)
+	tm.Add(0, 3, 100)
+	if _, err := Edmonds(tm, 1); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := BvN(tm, 4, 5); err != nil {
+		t.Error(err)
+	}
+	if _, err := Jupiter(tm, nil, 6, 2, 0); err != nil {
+		t.Error(err)
+	}
+	if _, _, err := SORN(tm, 6, 1, 100); err != nil {
+		t.Error(err)
+	}
+	c := Connect(0, 1, 2, 3, WildcardSlice)
+	if c.A != 0 || c.PortB != 3 {
+		t.Errorf("connect = %v", c)
+	}
+}
+
+func TestAPIRoutingFunctions(t *testing.T) {
+	n, err := New(Config{NodeNum: 8, Uplink: 2, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits, numSlices, err := RoundRobin(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, paths := range map[string][]Path{
+		"direct": n.Direct(circuits, numSlices, RoutingOptions{}),
+		"vlb":    n.VLB(circuits, numSlices, RoutingOptions{}),
+		"opera":  n.Opera(circuits, numSlices, RoutingOptions{MaxHop: 5}),
+		"ucmp":   n.UCMP(circuits, numSlices, RoutingOptions{MaxHop: 2}),
+		"hoho":   n.HOHO(circuits, numSlices, RoutingOptions{MaxHop: 2}),
+	} {
+		if len(paths) == 0 {
+			t.Errorf("%s produced no paths", name)
+		}
+	}
+	mesh, err := UniformMesh(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, paths := range map[string][]Path{
+		"ecmp": n.ECMP(mesh, RoutingOptions{}),
+		"wcmp": n.WCMP(mesh, RoutingOptions{}),
+		"ksp":  n.KSP(mesh, 3, RoutingOptions{}),
+	} {
+		if len(paths) == 0 {
+			t.Errorf("%s produced no paths", name)
+		}
+	}
+	// Helpers.
+	if got := n.Neighbors(circuits, numSlices, 0, 0); len(got) != 2 {
+		t.Errorf("neighbors = %v, want 2 (two uplinks)", got)
+	}
+	if got := n.EarliestPath(circuits, numSlices, 0, 5, 0, 2); len(got) == 0 {
+		t.Error("earliest_path found nothing")
+	}
+}
+
+func TestMonitorTelemetry(t *testing.T) {
+	n := rotorNet4(t, nil)
+	var snaps []Telemetry
+	n.Monitor(5*time.Millisecond, func(tl Telemetry) bool {
+		snaps = append(snaps, tl)
+		return true
+	})
+	eps := n.Endpoints()
+	flow := core.FlowKey{SrcHost: eps[0].Host, DstHost: eps[2].Host,
+		SrcPort: 5, DstPort: traffic.PortReplay, Proto: core.ProtoTCP}
+	eps[0].Stack.OpenTCP(flow, eps[0].Node, eps[2].Node, 2_000_000)
+	n.Run(30 * time.Millisecond)
+	if len(snaps) < 5 {
+		t.Fatalf("got %d snapshots", len(snaps))
+	}
+	last := snaps[len(snaps)-1]
+	if len(last.BufferBytes) != 4 || len(last.TxBytes) != 4 {
+		t.Fatalf("snapshot shape: %+v", last)
+	}
+	var tx uint64
+	for _, v := range last.TxBytes {
+		tx += v
+	}
+	if tx == 0 {
+		t.Fatal("no transmitted bytes observed by telemetry")
+	}
+}
+
+func TestTDTCPConfigWiring(t *testing.T) {
+	cfg := Config{NodeNum: 4, Uplink: 1, TDTCPDivisions: 3, Seed: 3}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits, ns, err := RoundRobin(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeployTopo(circuits, ns); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeployRouting(n.VLB(circuits, ns, RoutingOptions{}),
+		LookupHop, MultipathPacket); err != nil {
+		t.Fatal(err)
+	}
+	eps := n.Endpoints()
+	flow := core.FlowKey{SrcHost: eps[0].Host, DstHost: eps[2].Host,
+		SrcPort: 5, DstPort: 80, Proto: core.ProtoTCP}
+	conn := eps[0].Stack.OpenTCP(flow, eps[0].Node, eps[2].Node, 300_000)
+	n.Run(60 * time.Millisecond)
+	if !conn.Done() {
+		t.Fatalf("TDTCP flow incomplete: %d", conn.Acked())
+	}
+	if got := len(conn.DivisionWindows()); got != 3 {
+		t.Fatalf("division windows = %d, want 3", got)
+	}
+}

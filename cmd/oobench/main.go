@@ -1,0 +1,108 @@
+// Command oobench regenerates the paper's tables and figures: it runs one
+// (or all) of the experiment drivers and prints the same rows/series the
+// paper reports, plus the repository's ablation studies.
+//
+// Usage:
+//
+//	oobench -exp fig8            # one experiment
+//	oobench -exp all -quick      # everything at reduced scale
+//	oobench -list                # enumerate experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"openoptics/experiments"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func(experiments.Params) (fmt.Stringer, error)
+}
+
+func wrap[T fmt.Stringer](fn func(experiments.Params) (T, error)) func(experiments.Params) (fmt.Stringer, error) {
+	return func(p experiments.Params) (fmt.Stringer, error) {
+		r, err := fn(p)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+func runners() []runner {
+	return []runner{
+		{"fig8", "Case I: FCTs across six architectures (+UCMP)", wrap(experiments.Fig8)},
+		{"fig9", "Case II: TCP throughput and reordering", wrap(experiments.Fig9)},
+		{"fig10", "Case III: OCS choice — FCT vs slice duration", wrap(experiments.Fig10)},
+		{"fig11", "switch-to-switch delay vs packet size", wrap(experiments.Fig11)},
+		{"fig12", "EQO error vs update interval", wrap(experiments.Fig12)},
+		{"fig13", "UDP RTT on RotorNet (emulation accuracy)", wrap(experiments.Fig13)},
+		{"fig14", "buffer-offload RTT stability", wrap(experiments.Fig14)},
+		{"table2", "Tofino2 resource usage, 108-ToR", wrap(experiments.Table2)},
+		{"table3", "99.9%-ile switch buffer usage", wrap(experiments.Table3)},
+		{"table4", "congestion detection + push-back", wrap(experiments.Table4)},
+		{"minslice", "minimum time-slice derivation", wrap(experiments.MinSlice)},
+		{"ablation-guardband", "guardband sweep vs loss", wrap(experiments.AblationGuardband)},
+		{"ablation-lookup", "per-hop vs source routing", wrap(experiments.AblationLookup)},
+		{"ablation-multipath", "packet vs flow hashing", wrap(experiments.AblationMultipath)},
+		{"ablation-queues", "calendar depth vs wrap drops", wrap(experiments.AblationQueueCount)},
+		{"ablation-eqo", "EQO vs oracle occupancy", wrap(experiments.AblationEQO)},
+	}
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "reduced scale for fast runs")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	nodes := flag.Int("nodes", 0, "override endpoint-node count (0 = default)")
+	durMs := flag.Int("duration-ms", 0, "override measured window (0 = default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	rs := runners()
+	if *list {
+		for _, r := range rs {
+			fmt.Printf("%-20s %s\n", r.id, r.desc)
+		}
+		return
+	}
+	p := experiments.Params{Quick: *quick, Seed: *seed, Nodes: *nodes,
+		Duration: time.Duration(*durMs) * time.Millisecond}
+
+	ids := map[string]runner{}
+	order := make([]string, 0, len(rs))
+	for _, r := range rs {
+		ids[r.id] = r
+		order = append(order, r.id)
+	}
+	var todo []string
+	if *exp == "all" {
+		todo = order // declared order: figures, tables, then ablations
+	} else {
+		if _, ok := ids[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "oobench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		todo = []string{*exp}
+	}
+	failed := 0
+	for _, id := range todo {
+		r := ids[id]
+		start := time.Now()
+		res, err := r.run(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oobench: %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", id, r.desc, time.Since(start).Seconds(), res)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,156 @@
+// Command oosim runs an OpenOptics network from a JSON static
+// configuration (§4.1) with a chosen architecture and workload, and prints
+// traffic statistics — the programmable what-if tool for users exploring
+// their own deployments.
+//
+// Usage:
+//
+//	oosim -config testdata/rotornet.json -arch rotornet-vlb -workload memcached -duration-ms 100
+//	oosim -nodes 16 -arch opera -workload rpc -load 0.4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/traffic"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "JSON static configuration file (optional)")
+	archName := flag.String("arch", "rotornet-vlb", "architecture: clos|c-through|jupiter|mordia|rotornet-vlb|rotornet-direct|rotornet-ucmp|rotornet-hoho|opera|semi-oblivious|shale")
+	workload := flag.String("workload", "memcached", "workload: memcached|allreduce|iperf|udp-probe|rpc|hadoop|kv")
+	nodes := flag.Int("nodes", 8, "endpoint nodes (ignored with -config)")
+	uplink := flag.Int("uplink", 0, "uplinks per node (0 = architecture default)")
+	durMs := flag.Int("duration-ms", 100, "virtual run duration")
+	load := flag.Float64("load", 0.4, "trace replay load fraction")
+	sliceUs := flag.Int("slice-us", 100, "slice duration in µs")
+	seed := flag.Uint64("seed", 1, "seed")
+	flag.Parse()
+
+	o := arch.Options{
+		Nodes:           *nodes,
+		Uplink:          *uplink,
+		HostsPerNode:    1,
+		SliceDurationNs: int64(*sliceUs) * 1000,
+		Seed:            *seed,
+	}
+	if *cfgPath != "" {
+		cfg, err := openoptics.LoadConfig(*cfgPath)
+		check(err)
+		o.Nodes = cfg.NodeNum
+		o.Uplink = cfg.Uplink
+		o.HostsPerNode = cfg.HostsPerNode
+		if cfg.SliceDurationNs > 0 {
+			o.SliceDurationNs = cfg.SliceDurationNs
+		}
+		if cfg.Seed != 0 {
+			o.Seed = cfg.Seed
+		}
+		base := cfg
+		o.Tune = func(c *openoptics.Config) { *c = base }
+	}
+	in, err := buildArch(*archName, o)
+	check(err)
+
+	dur := time.Duration(*durMs) * time.Millisecond
+	eps := in.Net.Endpoints()
+	sink := traffic.NewSink(eps)
+	eng := in.Net.Engine()
+
+	var report func()
+	switch *workload {
+	case "memcached":
+		mc := traffic.NewMemcached(eng, eps[0], eps[1:], o.Seed)
+		mc.Start(int64(dur))
+		report = func() {
+			fmt.Printf("memcached: %s\n", sink.FCTSample(traffic.PortMemcached).Summary())
+		}
+	case "allreduce":
+		ar := traffic.NewAllReduce(eng, eps, 4_000_000)
+		done := 0
+		ar.OnDone = func(ns int64) {
+			done++
+			fmt.Printf("allreduce #%d: %.3f ms\n", done, float64(ns)/1e6)
+			if eng.Now() < int64(dur) {
+				ar.Restart(4_000_000)
+			}
+		}
+		ar.Start()
+		report = func() { fmt.Printf("allreduce: %d collectives completed\n", done) }
+	case "iperf":
+		ip := traffic.NewIperf(eng, [][2]traffic.Endpoint{{eps[0], eps[len(eps)/2]}})
+		report = func() {
+			fmt.Printf("iperf: %.2f Gbps goodput, %d retransmissions\n",
+				ip.GoodputBps()/1e9, ip.Retransmissions())
+		}
+	case "udp-probe":
+		pr := traffic.NewUDPProbe(eng, eps[0], eps[len(eps)-1])
+		pr.Start(int64(dur))
+		report = func() {
+			fmt.Printf("udp rtt: %s\n", sink.RTT.Summary())
+		}
+	case "rpc", "hadoop", "kv":
+		cdf, err := traffic.ByName(*workload)
+		check(err)
+		rp, err := traffic.NewReplay(eng, eps, cdf, *load,
+			int64(in.Net.Cfg.LineRateGbps*1e9), o.Seed)
+		check(err)
+		rp.Start(int64(dur))
+		report = func() {
+			fmt.Printf("%s replay: %d flows started, FCT %s\n",
+				*workload, rp.Started, sink.FCTSample(traffic.PortReplay).Summary())
+		}
+	default:
+		check(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	check(in.Run(dur + dur/4))
+	report()
+	c := in.Net.Counters()
+	fmt.Printf("switches: rx=%d tx=%d delivered=%d drops{noroute=%d buffer=%d congest=%d wrap=%d} misses=%d fallbacks=%d\n",
+		c.RxPkts, c.TxPkts, c.Delivered, c.DropsNoRoute, c.DropsBuffer,
+		c.DropsCongest, c.DropsWrap, c.SliceMisses, c.Fallbacks)
+	fab := in.Net.OpticalFabric()
+	fmt.Printf("optical fabric: forwarded=%d drops{guard=%d nocircuit=%d}\n",
+		fab.Forwarded, fab.DropsGuard, fab.DropsNoCircuit)
+}
+
+func buildArch(name string, o arch.Options) (*arch.Instance, error) {
+	switch name {
+	case "clos":
+		return arch.Clos(o)
+	case "c-through":
+		return arch.CThrough(o)
+	case "jupiter":
+		return arch.Jupiter(o)
+	case "mordia":
+		return arch.Mordia(o)
+	case "rotornet-vlb":
+		return arch.RotorNet(o, arch.SchemeVLB)
+	case "rotornet-direct":
+		return arch.RotorNet(o, arch.SchemeDirect)
+	case "rotornet-ucmp":
+		return arch.RotorNet(o, arch.SchemeUCMP)
+	case "rotornet-hoho":
+		return arch.RotorNet(o, arch.SchemeHOHO)
+	case "opera":
+		return arch.Opera(o)
+	case "semi-oblivious":
+		return arch.SemiOblivious(o)
+	case "shale":
+		return arch.Shale(o, 2)
+	}
+	return nil, fmt.Errorf("unknown architecture %q", name)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oosim:", err)
+		os.Exit(1)
+	}
+}

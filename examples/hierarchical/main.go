@@ -1,0 +1,114 @@
+// Hierarchical: the Fig. 5 (d) TA+TO hybrid for ML workloads — each rack
+// runs a traffic-oblivious scale-up network among its GPU machines
+// (round-robin + VLB, rich connectivity), while the inter-rack scale-out
+// network is traffic-aware (BvN circuit scheduling + WCMP), adapting to
+// locality across racks. The two levels are separate OpenOptics networks
+// with their own static configurations, exactly as the paper's snippet
+// creates a rack_conf next to the core config.
+//
+//	go run ./examples/hierarchical
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/traffic"
+)
+
+func main() {
+	const racks, hostsPerRack = 4, 8
+
+	// Intra-rack scale-up networks: one TO network per rack.
+	var rackNets []*openoptics.Net
+	for r := 0; r < racks; r++ {
+		rn, err := openoptics.New(openoptics.Config{
+			Node:            "host", // host-centric: NICs on the rack fabric
+			NodeNum:         hostsPerRack,
+			Uplink:          1,
+			SliceDurationNs: 10_000, // fast scale-up slices
+			Seed:            uint64(100 + r),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cts, ns, err := openoptics.RoundRobin(hostsPerRack, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rn.DeployTopo(cts, ns); err != nil {
+			log.Fatal(err)
+		}
+		if err := rn.DeployRouting(rn.VLB(cts, ns, openoptics.RoutingOptions{}),
+			openoptics.LookupHop, openoptics.MultipathPacket); err != nil {
+			log.Fatal(err)
+		}
+		rackNets = append(rackNets, rn)
+	}
+	fmt.Printf("deployed %d intra-rack TO networks (%d hosts each)\n", racks, hostsPerRack)
+
+	// Inter-rack scale-out network: TA with BvN scheduling over rack ToRs.
+	core, err := openoptics.New(openoptics.Config{
+		Node:            "rack",
+		NodeNum:         racks,
+		Uplink:          2,
+		SliceDurationNs: 100_000,
+		Seed:            9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	numSlices := racks - 1
+	cts, ns, err := openoptics.BvN(openoptics.NewTM(racks), numSlices, numSlices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.DeployTopo(cts, ns); err != nil {
+		log.Fatal(err)
+	}
+	if err := core.DeployRouting(core.Direct(cts, ns, openoptics.RoutingOptions{}),
+		openoptics.LookupHop, openoptics.MultipathNone); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run ring allreduce inside each rack (the scale-up traffic) while the
+	// scale-out network adapts to inter-rack shuffles every epoch.
+	for r, rn := range rackNets {
+		eps := rn.Endpoints()
+		ar := traffic.NewAllReduce(rn.Engine(), eps, 2_000_000)
+		r := r
+		ar.OnDone = func(d int64) {
+			fmt.Printf("rack %d allreduce (2 MB x %d hosts): %.3f ms\n",
+				r, hostsPerRack, float64(d)/1e6)
+		}
+		ar.Start()
+		rn.Run(40 * time.Millisecond)
+	}
+
+	coreEps := core.Endpoints()
+	sink := traffic.NewSink(coreEps)
+	rp, err := traffic.NewReplay(core.Engine(), coreEps, traffic.Hadoop(), 0.3, 100e9, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp.Start(int64(120 * time.Millisecond))
+	for epoch := 0; epoch < 3; epoch++ {
+		tm := core.Collect(40 * time.Millisecond) // "1h" scaled down
+		cts, ns, err := openoptics.BvN(tm, numSlices, numSlices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := core.DeployTopo(cts, ns); err != nil {
+			log.Fatal(err)
+		}
+		if err := core.DeployRouting(core.Direct(cts, ns, openoptics.RoutingOptions{}),
+			openoptics.LookupHop, openoptics.MultipathNone); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("scale-out epoch %d: re-scheduled circuits for %.1f MB of demand\n",
+			epoch, tm.Total()/1e6)
+	}
+	fmt.Printf("inter-rack shuffle FCT: %s\n", sink.FCTSample(traffic.PortReplay).Summary())
+}

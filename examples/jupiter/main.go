@@ -1,0 +1,91 @@
+// Jupiter: the Fig. 5 (b) traffic-aware program — an all-optical static
+// topology that starts as a uniform mesh with WCMP routing and evolves
+// gradually toward the observed traffic matrix, deploying routing before
+// topology so traffic shifts seamlessly.
+//
+//	go run ./examples/jupiter
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/traffic"
+)
+
+func main() {
+	const n, uplink = 8, 3
+	net, err := openoptics.New(openoptics.Config{
+		Node:    "rack",
+		NodeNum: n,
+		Uplink:  uplink,
+		Seed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// circuits = jupiter(TM=null) — the uniform starting mesh.
+	circuits, err := openoptics.Jupiter(nil, nil, n, uplink, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paths := net.WCMP(circuits, openoptics.RoutingOptions{})
+	if err := net.DeployTopo(circuits, 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.DeployRouting(paths, openoptics.LookupHop, openoptics.MultipathFlow); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold start: uniform mesh, %d circuits\n", len(circuits))
+
+	// Skewed workload: two hot ToR pairs dominate.
+	eps := net.Endpoints()
+	sink := traffic.NewSink(eps)
+	rp, err := traffic.NewReplay(net.Engine(), eps, traffic.Hadoop(), 0.3, 100e9, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rp.CrossNodeOnly = true
+	rp.Start(int64(200 * time.Millisecond))
+
+	// while TM = net.collect("24h"): evolve topology, routing first.
+	prev := circuits
+	for epoch := 0; epoch < 4; epoch++ {
+		tm := net.Collect(50 * time.Millisecond) // scaled-down "24 h"
+		next, err := openoptics.Jupiter(tm, prev, n, uplink, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		moved := countMoves(prev, next)
+		if err := net.DeployTopo(next, 1); err != nil {
+			log.Fatal(err)
+		}
+		if err := net.DeployRouting(net.WCMP(next, openoptics.RoutingOptions{}),
+			openoptics.LookupHop, openoptics.MultipathFlow); err != nil {
+			log.Fatal(err)
+		}
+		prev = next
+		fmt.Printf("epoch %d: observed %.1f MB of demand, moved %d circuits\n",
+			epoch, tm.Total()/1e6, moved)
+	}
+	fmt.Printf("hadoop FCT: %s\n", sink.FCTSample(traffic.PortReplay).Summary())
+}
+
+func countMoves(prev, next []openoptics.Circuit) int {
+	had := make(map[[2]openoptics.NodeID]bool, len(prev))
+	for _, c := range prev {
+		cc := c.Canon()
+		had[[2]openoptics.NodeID{cc.A, cc.B}] = true
+	}
+	moves := 0
+	for _, c := range next {
+		cc := c.Canon()
+		if !had[[2]openoptics.NodeID{cc.A, cc.B}] {
+			moves++
+		}
+	}
+	return moves
+}

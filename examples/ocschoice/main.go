@@ -1,0 +1,69 @@
+// OCS choice: the Case III study (§6) as a program — pick an optical
+// device class by emulating your workload against its slice duration.
+// Four recently proposed OCS technologies are characterized purely by the
+// slice duration they sustain; RotorNet with VLB and with UCMP runs the
+// same latency-sensitive workload on each, exposing the performance/cost
+// sweet spot.
+//
+//	go run ./examples/ocschoice
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/traffic"
+)
+
+type device struct {
+	name    string
+	sliceNs int64
+	guardNs int64
+	cost    string // qualitative, from the optics literature
+}
+
+func main() {
+	devices := []device{
+		{"AWGR (2 µs)", 2_000, 200, "$$$$"},
+		{"PLZT (20 µs)", 20_000, 2_000, "$$$"},
+		{"DMD (100 µs)", 100_000, 10_000, "$$"},
+		{"LC (200 µs)", 200_000, 20_000, "$"},
+	}
+	fmt.Printf("%-14s %-6s %-28s %-28s\n", "device", "cost", "VLB mice p50/p99", "UCMP mice p50/p99")
+	for _, d := range devices {
+		vlb := run(d, arch.SchemeVLB)
+		ucmp := run(d, arch.SchemeUCMP)
+		fmt.Printf("%-14s %-6s %-28s %-28s\n", d.name, d.cost, vlb, ucmp)
+	}
+	fmt.Println("\nReading: VLB tail grows with the slice duration (wait-at-intermediate),")
+	fmt.Println("UCMP stays flat into the cheap device range — the Fig. 10 sweet spot.")
+}
+
+func run(d device, scheme arch.Scheme) string {
+	o := arch.Options{
+		Nodes: 8, HostsPerNode: 1, Seed: 7,
+		SliceDurationNs: d.sliceNs,
+		Tune: func(c *openoptics.Config) {
+			c.GuardNs = d.guardNs
+			c.CongestionDetection = true
+			c.Response = "defer"
+		},
+	}
+	in, err := arch.RotorNet(o, scheme)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eps := in.Net.Endpoints()
+	sink := traffic.NewSink(eps)
+	mc := traffic.NewMemcached(in.Net.Engine(), eps[0], eps[1:], 7)
+	dur := 40 * time.Millisecond
+	mc.Start(int64(dur))
+	if err := in.Run(dur + dur/2); err != nil {
+		log.Fatal(err)
+	}
+	s := sink.FCTSample(traffic.PortMemcached)
+	return fmt.Sprintf("%.0f µs / %.0f µs", s.Percentile(50)/1e3, s.Percentile(99)/1e3)
+}

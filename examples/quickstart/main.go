@@ -1,0 +1,66 @@
+// Quickstart: the Fig. 5 (a) RotorNet program — a traffic-oblivious
+// optical DCN in a dozen lines. It builds an 8-ToR network, deploys a
+// single-dimensional round-robin optical schedule with VLB routing and
+// per-packet spraying, runs a latency probe and a bulk transfer, and
+// prints what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+)
+
+func main() {
+	// config = {"node":"rack", "node_num":8, "uplink":1, ...}
+	net, err := openoptics.New(openoptics.Config{
+		Node:            "rack",
+		NodeNum:         8,
+		Uplink:          1,
+		SliceDurationNs: 100_000, // 100 µs optical slices
+		Seed:            1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// circuits = round_robin(dimension=1, uplink=config.uplink)
+	circuits, numSlices, err := openoptics.RoundRobin(8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// paths = vlb(circuits)
+	paths := net.VLB(circuits, numSlices, openoptics.RoutingOptions{})
+
+	// net.deploy_topo(circuits); net.deploy_routing(paths, "hop", "packet")
+	if err := net.DeployTopo(circuits, numSlices); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.DeployRouting(paths, openoptics.LookupHop, openoptics.MultipathPacket); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed RotorNet: %d circuits, %d-slice cycle (%v)\n",
+		len(circuits), numSlices, net.Schedule().CycleDuration())
+
+	// Drive traffic: a UDP latency probe and one 1 MB TCP transfer.
+	eps := net.Endpoints()
+	sink := traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(net.Engine(), eps[0], eps[5])
+	probe.Start(int64(40 * time.Millisecond))
+	flow := core.FlowKey{SrcHost: eps[1].Host, DstHost: eps[6].Host,
+		SrcPort: 1000, DstPort: traffic.PortReplay, Proto: core.ProtoTCP}
+	conn := eps[1].Stack.OpenTCP(flow, eps[1].Node, eps[6].Node, 1_000_000)
+
+	net.Run(50 * time.Millisecond)
+
+	fmt.Printf("udp rtt: %s\n", sink.RTT.Summary())
+	fmt.Printf("bulk transfer done=%v (%d bytes acked)\n", conn.Done(), conn.Acked())
+	fmt.Printf("buffer on N0: %d bytes now, %d bytes sent on uplink 0\n",
+		net.BufferUsage(0, openoptics.NoPort), net.BWUsage(0, 0))
+}

@@ -1,0 +1,106 @@
+// Semi-oblivious: the Fig. 5 (c) TA+TO hybrid that OpenOptics makes
+// possible by breaking the TA/TO boundary — a round-robin optical schedule
+// with VLB routing that is periodically re-skewed toward the observed
+// traffic matrix with the custom sorn() topology builder, giving hotspot
+// pairs direct circuits in many slices.
+//
+//	go run ./examples/semioblivious
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+	"openoptics/internal/transport"
+)
+
+func main() {
+	const n, uplink = 8, 1
+	net, err := openoptics.New(openoptics.Config{
+		Node:            "rack",
+		NodeNum:         n,
+		Uplink:          uplink,
+		SliceDurationNs: 100_000,
+		DupAckThreshold: 5, // tolerate rotor-path reordering (Case II)
+		Seed:            3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start as a plain TO network: round_robin + vlb.
+	circuits, numSlices, err := openoptics.RoundRobin(n, uplink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.DeployTopo(circuits, numSlices); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.DeployRouting(net.VLB(circuits, numSlices, openoptics.RoutingOptions{}),
+		openoptics.LookupHop, openoptics.MultipathPacket); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("oblivious start: %d-slice round robin\n", numSlices)
+
+	// Persistent hotspot: host 0 -> host 4 elephants, plus background.
+	eps := net.Endpoints()
+	sink := traffic.NewSink(eps)
+	var hot []*hotFlow
+	for i := 0; i < 3; i++ {
+		hot = append(hot, newHotFlow(net, eps, uint16(2000+i)))
+	}
+	bg, err := traffic.NewReplay(net.Engine(), eps, traffic.KVStore(), 0.02, 100e9, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bg.Start(int64(150 * time.Millisecond))
+
+	// while TM = net.collect("10min"): circuits = sorn(TM); redeploy.
+	sliceCap := 100e9 / 8 * 100e-6 // bytes one circuit carries per slice
+	for epoch := 0; epoch < 3; epoch++ {
+		tm := net.Collect(50 * time.Millisecond) // scaled-down "10 min"
+		cts, ns, err := openoptics.SORN(tm, n, uplink, sliceCap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := net.DeployTopo(cts, ns); err != nil {
+			log.Fatal(err)
+		}
+		if err := net.DeployRouting(net.VLB(cts, ns, openoptics.RoutingOptions{}),
+			openoptics.LookupHop, openoptics.MultipathPacket); err != nil {
+			log.Fatal(err)
+		}
+		direct := directSlices(cts, 0, 4, ns)
+		fmt.Printf("epoch %d: pair N0-N4 now holds direct circuits in %d of %d slices\n",
+			epoch, direct, ns)
+	}
+	var moved int64
+	for _, h := range hot {
+		moved += h.conn.Acked()
+	}
+	fmt.Printf("hotspot moved %.1f MB; kv mice FCT: %s\n",
+		float64(moved)/1e6, sink.FCTSample(traffic.PortReplay).Summary())
+}
+
+type hotFlow struct{ conn *transport.Conn }
+
+func directSlices(cts []openoptics.Circuit, a, b openoptics.NodeID, ns int) int {
+	seen := make(map[openoptics.Slice]bool)
+	for _, c := range cts {
+		cc := c.Canon()
+		if (cc.A == a && cc.B == b) || (cc.A == b && cc.B == a) {
+			seen[c.Slice] = true
+		}
+	}
+	return len(seen)
+}
+
+func newHotFlow(net *openoptics.Net, eps []traffic.Endpoint, port uint16) *hotFlow {
+	flow := core.FlowKey{SrcHost: eps[0].Host, DstHost: eps[4].Host,
+		SrcPort: port, DstPort: traffic.PortIperf, Proto: core.ProtoTCP}
+	return &hotFlow{eps[0].Stack.OpenTCP(flow, eps[0].Node, eps[4].Node, 1<<30)}
+}

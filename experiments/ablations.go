@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/controller"
+	"openoptics/internal/core"
+	"openoptics/internal/stats"
+	"openoptics/internal/traffic"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: design knobs
+// the paper fixes that we sweep to show why its choices hold.
+
+// AblationGuardbandResult sweeps the guardband against loss and goodput:
+// too small loses packets at slice edges, too large wastes duty cycle.
+type AblationGuardbandResult struct {
+	GuardNs   []int64
+	Loss      map[int64]float64
+	FCTp99    map[int64]float64
+	Fallbacks map[int64]uint64 // boundary misroutes recovered in-network
+	// GoodputBps of a long direct-routed flow: the duty-cycle cost made
+	// visible — every ns of guard is a ns the circuit cannot carry data.
+	GoodputBps map[int64]float64
+}
+
+// AblationGuardband runs RotorNet with direct-circuit routing across
+// guardbands: direct routing exposes the duty-cycle cost (every guard ns
+// is circuit time lost) without VLB's transport noise.
+func AblationGuardband(p Params) (*AblationGuardbandResult, error) {
+	dur := p.dur(60*time.Millisecond, 20*time.Millisecond)
+	res := &AblationGuardbandResult{
+		GuardNs:   []int64{0, 200, 2_000, 20_000},
+		Loss:      make(map[int64]float64),
+		FCTp99:    make(map[int64]float64),
+		Fallbacks: make(map[int64]uint64),
+		GoodputBps: make(map[int64]float64),
+	}
+	for _, g := range res.GuardNs {
+		g := g
+		o := arch.Options{Nodes: 8, HostsPerNode: 1, Seed: p.seed(),
+			SliceDurationNs: 100_000,
+			Tune: func(c *openoptics.Config) {
+				c.GuardNs = g
+				c.SyncErrorNs = 28 // the hazard a guardband absorbs
+				c.FlowPausing = true
+				c.ElephantBytes = 100_000
+			}}
+		in, err := arch.RotorNet(o, arch.SchemeDirect)
+		if err != nil {
+			return nil, err
+		}
+		eps := in.Net.Endpoints()
+		sink := traffic.NewSink(eps)
+		mc := traffic.NewMemcached(in.Net.Engine(), eps[0], eps[1:], p.seed())
+		mc.Start(int64(dur))
+		ip := traffic.NewIperf(in.Net.Engine(), [][2]traffic.Endpoint{{eps[2], eps[6]}})
+		if err := in.Run(dur + dur/2); err != nil {
+			return nil, err
+		}
+		res.GoodputBps[g] = ip.GoodputBps()
+		fab := in.Net.OpticalFabric()
+		total := fab.Forwarded + fab.DropsGuard + fab.DropsNoCircuit
+		loss := 0.0
+		if total > 0 {
+			loss = float64(fab.DropsGuard+fab.DropsNoCircuit) / float64(total)
+		}
+		res.Loss[g] = loss
+		res.FCTp99[g] = sink.FCTSample(traffic.PortMemcached).Percentile(99)
+		res.Fallbacks[g] = in.Net.Counters().Fallbacks
+	}
+	return res, nil
+}
+
+func (r *AblationGuardbandResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — guardband vs boundary hazards (28 ns sync error) and duty cost\n")
+	rows := make([][]string, 0, len(r.GuardNs))
+	for _, g := range r.GuardNs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d ns", g),
+			fmt.Sprintf("%.3f%%", r.Loss[g]*100),
+			fmt.Sprintf("%d", r.Fallbacks[g]),
+			ms(r.FCTp99[g]),
+			gbps(r.GoodputBps[g]),
+		})
+	}
+	b.WriteString(table([]string{"guard", "fabric loss", "misroutes", "mice p99", "iperf goodput"}, rows))
+	return b.String()
+}
+
+// AblationLookupResult compares per-hop lookup vs source routing on the
+// same UCMP path set: table entries installed and delivered FCTs.
+type AblationLookupResult struct {
+	Modes   []string
+	Entries map[string]int
+	FCTp99  map[string]float64
+}
+
+// AblationLookup quantifies the LOOKUP deploy option trade-off: source
+// routing concentrates state at sources (fewer nodes touched, bigger
+// packets); per-hop lookup spreads entries across the fabric.
+func AblationLookup(p Params) (*AblationLookupResult, error) {
+	dur := p.dur(60*time.Millisecond, 20*time.Millisecond)
+	res := &AblationLookupResult{
+		Modes:   []string{"hop", "source"},
+		Entries: make(map[string]int),
+		FCTp99:  make(map[string]float64),
+	}
+	for _, mode := range res.Modes {
+		lookup := core.LookupHop
+		if mode == "source" {
+			lookup = core.LookupSource
+		}
+		cfg := openoptics.Config{NodeNum: 8, Uplink: 1, SliceDurationNs: 100_000, Seed: p.seed()}
+		n, err := openoptics.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		circuits, numSlices, err := openoptics.RoundRobin(8, 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.DeployTopo(circuits, numSlices); err != nil {
+			return nil, err
+		}
+		paths := n.UCMP(circuits, numSlices, openoptics.RoutingOptions{MaxHop: 2, MaxPaths: 4})
+		if err := n.DeployRouting(paths, lookup, core.MultipathPacket); err != nil {
+			return nil, err
+		}
+		entries := 0
+		for _, sw := range n.Switches() {
+			entries += sw.Table().Len()
+		}
+		res.Entries[mode] = entries
+		eps := n.Endpoints()
+		sink := traffic.NewSink(eps)
+		mc := traffic.NewMemcached(n.Engine(), eps[0], eps[1:], p.seed())
+		mc.Start(int64(dur))
+		n.Run(dur + dur/2)
+		res.FCTp99[mode] = sink.FCTSample(traffic.PortMemcached).Percentile(99)
+	}
+	return res, nil
+}
+
+func (r *AblationLookupResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — LOOKUP mode: per-hop vs source routing (UCMP)\n")
+	rows := make([][]string, 0, 2)
+	for _, m := range r.Modes {
+		rows = append(rows, []string{m, fmt.Sprintf("%d", r.Entries[m]), ms(r.FCTp99[m])})
+	}
+	b.WriteString(table([]string{"lookup", "entries", "mice p99"}, rows))
+	return b.String()
+}
+
+// AblationMultipathResult compares packet- vs flow-level multipath on VLB:
+// reordering and throughput.
+type AblationMultipathResult struct {
+	Modes    []string
+	Reorders map[string]uint64
+	Goodput  map[string]float64
+	FCTp99   map[string]float64
+}
+
+// AblationMultipath quantifies the MULTIPATH deploy option: packet-level
+// spraying balances load but reorders; flow-level hashing keeps order but
+// can hotspot.
+func AblationMultipath(p Params) (*AblationMultipathResult, error) {
+	dur := p.dur(40*time.Millisecond, 15*time.Millisecond)
+	res := &AblationMultipathResult{
+		Modes:    []string{"packet", "flow"},
+		Reorders: make(map[string]uint64),
+		Goodput:  make(map[string]float64),
+		FCTp99:   make(map[string]float64),
+	}
+	for _, mode := range res.Modes {
+		mp := core.MultipathPacket
+		if mode == "flow" {
+			mp = core.MultipathFlow
+		}
+		cfg := openoptics.Config{NodeNum: 8, Uplink: 4, SliceDurationNs: 100_000, Seed: p.seed()}
+		n, err := openoptics.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		circuits, numSlices, err := openoptics.RoundRobin(8, 4)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.DeployTopo(circuits, numSlices); err != nil {
+			return nil, err
+		}
+		paths := n.VLB(circuits, numSlices, openoptics.RoutingOptions{})
+		if err := n.DeployRouting(paths, core.LookupHop, mp); err != nil {
+			return nil, err
+		}
+		eps := n.Endpoints()
+		sink := traffic.NewSink(eps)
+		ip := traffic.NewIperf(n.Engine(), [][2]traffic.Endpoint{{eps[0], eps[4]}})
+		mc := traffic.NewMemcached(n.Engine(), eps[1], []traffic.Endpoint{eps[2], eps[3]}, p.seed())
+		mc.Start(int64(dur))
+		n.Run(dur)
+		var reorders uint64
+		for _, ep := range eps {
+			reorders += ep.Stack.ReorderEvents
+		}
+		res.Reorders[mode] = reorders
+		res.Goodput[mode] = ip.GoodputBps()
+		res.FCTp99[mode] = sink.FCTSample(traffic.PortMemcached).Percentile(99)
+	}
+	return res, nil
+}
+
+func (r *AblationMultipathResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — MULTIPATH mode: packet vs flow hashing (VLB)\n")
+	rows := make([][]string, 0, 2)
+	for _, m := range r.Modes {
+		rows = append(rows, []string{m, fmt.Sprintf("%d", r.Reorders[m]),
+			gbps(r.Goodput[m]), ms(r.FCTp99[m])})
+	}
+	b.WriteString(table([]string{"multipath", "reorders", "iperf goodput", "mice p99"}, rows))
+	return b.String()
+}
+
+// AblationQueueCountResult sweeps the calendar depth against wrap drops.
+type AblationQueueCountResult struct {
+	Queues []int
+	Wraps  map[int]uint64
+	Misses map[int]uint64
+	FCTp99 map[int]float64
+}
+
+// AblationQueueCount shrinks the per-port calendar below the cycle length
+// so far-future ranks cannot be enqueued — the regime buffer offloading
+// exists for.
+func AblationQueueCount(p Params) (*AblationQueueCountResult, error) {
+	dur := p.dur(60*time.Millisecond, 20*time.Millisecond)
+	res := &AblationQueueCountResult{
+		Queues: []int{2, 4, 8, 32},
+		Wraps:  make(map[int]uint64),
+		Misses: make(map[int]uint64),
+		FCTp99: make(map[int]float64),
+	}
+	for _, q := range res.Queues {
+		q := q
+		o := arch.Options{Nodes: 8, HostsPerNode: 1, Seed: p.seed(),
+			SliceDurationNs: 100_000,
+			Tune:            func(c *openoptics.Config) { c.CalendarQueues = q }}
+		in, err := arch.RotorNet(o, arch.SchemeVLB)
+		if err != nil {
+			return nil, err
+		}
+		eps := in.Net.Endpoints()
+		sink := traffic.NewSink(eps)
+		mc := traffic.NewMemcached(in.Net.Engine(), eps[0], eps[1:], p.seed())
+		mc.Start(int64(dur))
+		if err := in.Run(dur + dur/2); err != nil {
+			return nil, err
+		}
+		c := in.Net.Counters()
+		res.Wraps[q] = c.DropsWrap
+		res.Misses[q] = c.SliceMisses
+		res.FCTp99[q] = sink.FCTSample(traffic.PortMemcached).Percentile(99)
+	}
+	return res, nil
+}
+
+func (r *AblationQueueCountResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — calendar depth vs wrap drops (RotorNet VLB, 7-slice cycle)\n")
+	rows := make([][]string, 0, len(r.Queues))
+	for _, q := range r.Queues {
+		rows = append(rows, []string{fmt.Sprintf("%d", q),
+			fmt.Sprintf("%d", r.Wraps[q]), fmt.Sprintf("%d", r.Misses[q]), ms(r.FCTp99[q])})
+	}
+	b.WriteString(table([]string{"queues", "wrap drops", "slice misses", "mice p99"}, rows))
+	return b.String()
+}
+
+// AblationEQOResult compares EQO-based congestion detection against an
+// oracle with perfect queue knowledge, isolating the estimation cost.
+type AblationEQOResult struct {
+	Modes  []string
+	Loss   map[string]float64
+	Defers map[string]uint64
+}
+
+// AblationEQO runs HOHO under stress with estimated vs oracle occupancy.
+func AblationEQO(p Params) (*AblationEQOResult, error) {
+	dur := p.dur(50*time.Millisecond, 20*time.Millisecond)
+	res := &AblationEQOResult{
+		Modes:  []string{"eqo-50ns", "oracle"},
+		Loss:   make(map[string]float64),
+		Defers: make(map[string]uint64),
+	}
+	for _, mode := range res.Modes {
+		mode := mode
+		o := arch.Options{Nodes: 8, Uplink: 2, HostsPerNode: 2, Seed: p.seed(),
+			SliceDurationNs: 300_000,
+			Routing:         openoptics.RoutingOptions{MaxHop: 2},
+			Tune: func(c *openoptics.Config) {
+				c.CongestionDetection = true
+				c.Response = "defer"
+				if mode == "oracle" {
+					c.EQOIntervalNs = -1 // perfect ingress knowledge
+				}
+			}}
+		in, err := arch.RotorNet(o, arch.SchemeHOHO)
+		if err != nil {
+			return nil, err
+		}
+		eps := in.Net.Endpoints()
+		rp, err := traffic.NewReplay(in.Net.Engine(), eps, traffic.Hadoop(), 0.7,
+			int64(in.Net.Cfg.LineRateGbps*1e9), p.seed()^0xab1a)
+		if err != nil {
+			return nil, err
+		}
+		// The Table 4 in-cast stress, sized to ~90% of the hot ToR.
+		rp.HotFrac = 0.9 * 2 / (0.7 * float64(8-1))
+		rp.OpenLoop = true
+		rp.Start(int64(dur))
+		if err := in.Run(dur + 5*time.Millisecond); err != nil {
+			return nil, err
+		}
+		c := in.Net.Counters()
+		total := c.TxPkts + c.DropsCongest + c.DropsBuffer
+		if total > 0 {
+			res.Loss[mode] = float64(c.DropsCongest+c.DropsBuffer) / float64(total)
+		}
+		res.Defers[mode] = c.Defers
+	}
+	return res, nil
+}
+
+func (r *AblationEQOResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablation — EQO estimation vs oracle occupancy (HOHO, 70% load)\n")
+	rows := make([][]string, 0, 2)
+	for _, m := range r.Modes {
+		rows = append(rows, []string{m, fmt.Sprintf("%.3f%%", r.Loss[m]*100),
+			fmt.Sprintf("%d", r.Defers[m])})
+	}
+	b.WriteString(table([]string{"occupancy", "loss", "defers"}, rows))
+	return b.String()
+}
+
+// compile-time interface checks keeping the imports honest.
+var _ = controller.CompileOptions{}
+var _ = stats.NewSample

@@ -1,0 +1,98 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§6–§7). Every driver is deterministic given its
+// parameters, returns a typed result with a String() that prints the same
+// rows/series the paper reports, and is wrapped by a testing.B benchmark
+// in the repository root and by the cmd/oobench CLI.
+//
+// Absolute numbers differ from the paper — the substrate here is a
+// simulator, not a Tofino2 testbed — but the shapes (who wins, by what
+// factor, where crossovers fall) are the reproduction targets, recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"openoptics/internal/stats"
+)
+
+// Params scales an experiment run.
+type Params struct {
+	// Duration is the measured window of virtual time. Zero selects each
+	// experiment's default.
+	Duration time.Duration
+	// Nodes overrides the endpoint count where meaningful.
+	Nodes int
+	// Seed fixes the run.
+	Seed uint64
+	// Quick shrinks scale for unit-test budgets.
+	Quick bool
+}
+
+func (p Params) seed() uint64 {
+	if p.Seed == 0 {
+		return 42
+	}
+	return p.Seed
+}
+
+func (p Params) dur(def, quick time.Duration) time.Duration {
+	if p.Duration > 0 {
+		return p.Duration
+	}
+	if p.Quick {
+		return quick
+	}
+	return def
+}
+
+func (p Params) nodes(def int) int {
+	if p.Nodes > 0 {
+		return p.Nodes
+	}
+	return def
+}
+
+// ms formats nanoseconds as milliseconds.
+func ms(ns float64) string { return fmt.Sprintf("%.3f ms", ns/1e6) }
+
+// us formats nanoseconds as microseconds.
+func us(ns float64) string { return fmt.Sprintf("%.1f µs", ns/1e3) }
+
+// gbps formats bits/s as Gbps.
+func gbps(bps float64) string { return fmt.Sprintf("%.1f Gbps", bps/1e9) }
+
+// fctRow renders the canonical FCT row.
+func fctRow(name string, s *stats.Sample) string {
+	return fmt.Sprintf("%-16s n=%-6d p50=%-12s p95=%-12s p99=%-12s max=%s",
+		name, s.N(), ms(s.Percentile(50)), ms(s.Percentile(95)), ms(s.Percentile(99)), ms(s.Max()))
+}
+
+// table renders aligned columns.
+func table(header []string, rows [][]string) string {
+	w := make([]int, len(header))
+	for i, h := range header {
+		w[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "%-*s  ", w[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

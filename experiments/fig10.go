@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/stats"
+	"openoptics/internal/traffic"
+)
+
+// OCSProfile is one of the sampled optical device classes of Case III,
+// characterized by the time-slice duration it can sustain (slice ≈ 10× its
+// reconfiguration delay for a 90% duty cycle).
+type OCSProfile struct {
+	Name    string
+	SliceNs int64
+	GuardNs int64
+}
+
+// Fig10Profiles are the four device classes swept in Fig. 10.
+func Fig10Profiles() []OCSProfile {
+	return []OCSProfile{
+		{Name: "AWGR-2us", SliceNs: 2_000, GuardNs: 200},
+		{Name: "PLZT-20us", SliceNs: 20_000, GuardNs: 2_000},
+		{Name: "DMD-100us", SliceNs: 100_000, GuardNs: 10_000},
+		{Name: "LC-200us", SliceNs: 200_000, GuardNs: 20_000},
+	}
+}
+
+// Fig10Result holds the Case III hardware-choice study: Memcached mice
+// FCTs on RotorNet across OCS device classes, under VLB and UCMP routing.
+type Fig10Result struct {
+	Profiles []OCSProfile
+	// FCT[routing][profile name]
+	FCT map[string]map[string]*stats.Sample
+}
+
+// Fig10 implements Case III (§6): the same architecture and workload over
+// four OCS technologies, showing VLB's tail growing with the slice
+// duration while UCMP stays flat except at the shortest slices where
+// slice misses bite.
+func Fig10(p Params) (*Fig10Result, error) {
+	nodes := p.nodes(8)
+	dur := p.dur(100*time.Millisecond, 25*time.Millisecond)
+	res := &Fig10Result{
+		Profiles: Fig10Profiles(),
+		FCT:      map[string]map[string]*stats.Sample{"vlb": {}, "ucmp": {}},
+	}
+	for _, prof := range res.Profiles {
+		for _, scheme := range []arch.Scheme{arch.SchemeVLB, arch.SchemeUCMP} {
+			prof := prof
+			o := arch.Options{
+				Nodes: nodes, HostsPerNode: 1, Seed: p.seed(),
+				SliceDurationNs: prof.SliceNs,
+				Tune: func(c *openoptics.Config) {
+					c.GuardNs = prof.GuardNs
+					c.CongestionDetection = true
+					c.Response = "defer" // UCMP's native slice-miss handling
+				},
+			}
+			in, err := arch.RotorNet(o, scheme)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s/%s: %w", prof.Name, scheme, err)
+			}
+			eps := in.Net.Endpoints()
+			sink := traffic.NewSink(eps)
+			mc := traffic.NewMemcached(in.Net.Engine(), eps[0], eps[1:], p.seed())
+			mc.Start(int64(dur))
+			// Background trace load, per the §7 methodology: without
+			// competing traffic, slice misses never compound and every
+			// device class looks ideal.
+			bg, err := traffic.NewReplay(in.Net.Engine(), eps, traffic.RPC(),
+				0.3, int64(in.Net.Cfg.LineRateGbps*1e9), p.seed()^0xb6)
+			if err != nil {
+				return nil, err
+			}
+			bg.Start(int64(dur))
+			if err := in.Run(dur + dur/2); err != nil {
+				return nil, err
+			}
+			res.FCT[string(scheme)][prof.Name] = sink.FCTSample(traffic.PortMemcached)
+		}
+	}
+	return res, nil
+}
+
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	for _, scheme := range []string{"vlb", "ucmp"} {
+		fmt.Fprintf(&b, "Fig. 10 (%s) — RotorNet mice FCT vs OCS slice duration\n", scheme)
+		for _, prof := range r.Profiles {
+			s := r.FCT[scheme][prof.Name]
+			fmt.Fprintf(&b, "  %s\n", fctRow(prof.Name, s))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/core"
+	"openoptics/internal/stats"
+)
+
+// Fig11Result holds the switch-to-switch delay measurement (Fig. 11):
+// per-packet-size delay from the queue-rotation TX trigger on the sender
+// ToR to Rx MAC arrival on the receiver, through the optical fabric. The
+// max−min spread across sizes is the queue-rotation variance the §7
+// guardband must absorb.
+type Fig11Result struct {
+	Sizes    []int32
+	Delay    map[int32]*stats.Sample // ns per size
+	MinNs    float64
+	MaxNs    float64
+	SpreadNs float64
+}
+
+// Fig11 measures the delay with the paper's method: line-rate generator
+// probes from the observed ToR through the fabric back to a peer ToR,
+// timestamped on the same clock, on the testbed's 400 Gbps ToR links.
+func Fig11(p Params) (*Fig11Result, error) {
+	dur := p.dur(4*time.Millisecond, time.Millisecond)
+	cfg := openoptics.Config{
+		NodeNum:         2,
+		Uplink:          1,
+		SliceDurationNs: 100_000,
+		LineRateGbps:    400, // testbed ToR-fabric links
+		Seed:            p.seed(),
+	}
+	n, err := openoptics.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	circuits := []core.Circuit{openoptics.Connect(0, 0, 1, 0, core.WildcardSlice)}
+	if err := n.DeployTopo(circuits, 1); err != nil {
+		return nil, err
+	}
+	paths := n.Direct(circuits, 1, openoptics.RoutingOptions{})
+	if err := n.DeployRouting(paths, core.LookupHop, core.MultipathNone); err != nil {
+		return nil, err
+	}
+
+	res := &Fig11Result{
+		Sizes: []int32{64, 128, 256, 512, 1024, 1500},
+		Delay: make(map[int32]*stats.Sample),
+	}
+	for _, sz := range res.Sizes {
+		res.Delay[sz] = stats.NewSample()
+	}
+	// The receiving ToR samples the wire delay of every arriving packet.
+	bySize := make(map[uint64]int32)
+	var nextID uint64
+	n.Switches()[1].WireDelaySampler = func(ns int64, size int32) {
+		if s, ok := res.Delay[size]; ok {
+			s.Add(float64(ns))
+		}
+	}
+	_ = bySize
+	_ = nextID
+
+	// On-chip generator: inject probes of each size directly at the
+	// sender ToR's ingress, as the paper's pktgen does.
+	sw := n.Switches()[0]
+	eng := n.Engine()
+	i := 0
+	eng.Every(1000, 2000, func() bool {
+		if eng.Now() > int64(dur) {
+			return false
+		}
+		sz := res.Sizes[i%len(res.Sizes)]
+		i++
+		pkt := &core.Packet{
+			ID:      uint64(i),
+			Flow:    core.FlowKey{SrcHost: 0, DstHost: 1, SrcPort: 1, DstPort: 2, Proto: core.ProtoUDP},
+			SrcNode: 0, DstNode: 1,
+			Size: sz, Payload: sz - core.HeaderBytes,
+			Created: eng.Now(),
+			TTL:     core.DefaultTTL,
+		}
+		sw.Receive(pkt, core.PortID(cfg.Uplink)) // arrives on a downlink-side port
+		return true
+	})
+	n.Run(dur + time.Millisecond)
+
+	res.MinNs = 1 << 62
+	for _, sz := range res.Sizes {
+		s := res.Delay[sz]
+		if s.N() == 0 {
+			return nil, fmt.Errorf("fig11: no samples for size %d", sz)
+		}
+		if s.Min() < res.MinNs {
+			res.MinNs = s.Min()
+		}
+		if s.Max() > res.MaxNs {
+			res.MaxNs = s.Max()
+		}
+	}
+	res.SpreadNs = res.MaxNs - res.MinNs
+	return res, nil
+}
+
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — switch-to-switch delay vs packet size\n")
+	rows := make([][]string, 0, len(r.Sizes))
+	for _, sz := range r.Sizes {
+		s := r.Delay[sz]
+		rows = append(rows, []string{
+			fmt.Sprintf("%d B", sz), fmt.Sprintf("%d", s.N()),
+			fmt.Sprintf("%.0f ns", s.Min()), fmt.Sprintf("%.0f ns", s.Percentile(50)),
+			fmt.Sprintf("%.0f ns", s.Max()),
+		})
+	}
+	b.WriteString(table([]string{"size", "n", "min", "p50", "max"}, rows))
+	fmt.Fprintf(&b, "min=%.0f ns max=%.0f ns rotation variance=%.0f ns (paper: 1287/1324/34)\n",
+		r.MinNs, r.MaxNs, r.SpreadNs)
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import "testing"
+
+func TestFig11Shapes(t *testing.T) {
+	r, err := Fig11(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The delay band must be narrow (cut-through) and on the order of a
+	// microsecond; the spread across packet sizes is the guardband's
+	// rotation-variance component and must stay well under 100 ns at
+	// 400 Gbps (the paper measures 34 ns).
+	if r.MinNs < 300 || r.MinNs > 5000 {
+		t.Errorf("min delay %.0f ns outside the plausible band", r.MinNs)
+	}
+	if r.SpreadNs <= 0 || r.SpreadNs > 100 {
+		t.Errorf("rotation variance %.0f ns, want (0, 100]", r.SpreadNs)
+	}
+	// Delay must be monotone-ish in size: the largest packet is the
+	// slowest (one full serialization in the path).
+	if r.Delay[1500].Min() <= r.Delay[64].Min() {
+		t.Errorf("1500 B (%.0f) should be slower than 64 B (%.0f)",
+			r.Delay[1500].Min(), r.Delay[64].Min())
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestFig12Shapes(t *testing.T) {
+	r, err := Fig12(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Error grows with the update interval, and at 50 ns the mean stays
+	// under one MTU packet (paper: <=725 B max; our sampler also sees
+	// burst transients, so the mean is the stable comparand).
+	e50 := r.Error[50].Mean()
+	e800 := r.Error[800].Mean()
+	if e50 > 1500 {
+		t.Errorf("50 ns mean error %.0f B exceeds one MTU", e50)
+	}
+	if e800 < e50 {
+		t.Errorf("error should grow with interval: 800ns %.0f < 50ns %.0f", e800, e50)
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestFig13Shapes(t *testing.T) {
+	r, err := Fig13(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The CDF must be stepped (≥2 plateaus: direct-wait and via-hop
+	// bands), and the max RTT bounded by a few optical cycles (no
+	// kernel-style long tail).
+	if r.Plateaus < 2 {
+		t.Errorf("plateaus = %d, want >= 2 (stepped CDF)", r.Plateaus)
+	}
+	cycle := 7 * 100_000.0
+	if r.RTT.Max() > 4*cycle {
+		t.Errorf("max RTT %.0f ns beyond 4 cycles — unexpected long tail", r.RTT.Max())
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestFig14Shapes(t *testing.T) {
+	r, err := Fig14(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The userspace stack keeps offload returns tight; the kernel
+	// baseline is markedly worse (paper: 0.75 µs vs tens of µs).
+	vmaRange := r.VMA.Max() - r.VMA.Min()
+	kernRange := r.Kernel.Max() - r.Kernel.Min()
+	if kernRange < 4*vmaRange {
+		t.Errorf("kernel range %.0f ns should dwarf vma range %.0f ns", kernRange, vmaRange)
+	}
+	if dev := r.VMADev.Percentile(95); dev > 2_000 {
+		t.Errorf("vma interval deviation p95 = %.0f ns, want <= 2 µs", dev)
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestTable2Shapes(t *testing.T) {
+	r, err := Table2(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Entries < 1000 {
+		t.Errorf("only %d entries for the 108-ToR table", r.Entries)
+	}
+	// Everything must stay within the headroom claim and the same order
+	// of magnitude as Table 2.
+	if r.Usage.Max() > 20 {
+		t.Errorf("max resource usage %.1f%%, want <= 20%%", r.Usage.Max())
+	}
+	for name, pair := range map[string][2]float64{
+		"sram": {r.Usage.SRAM, 3.8}, "tcam": {r.Usage.TCAM, 2.3},
+		"salu": {r.Usage.StatefulALU, 9.4}, "tern": {r.Usage.TernaryXbar, 13.8},
+		"vliw": {r.Usage.VLIW, 5.6}, "exact": {r.Usage.ExactXbar, 7.8},
+	} {
+		got, want := pair[0], pair[1]
+		if got < want/4 || got > want*4 {
+			t.Errorf("%s = %.1f%%, paper %.1f%% (want within 4x)", name, got, want)
+		}
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestMinSliceShapes(t *testing.T) {
+	r, err := MinSlice(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The measured budget must land in the same regime as the paper's:
+	// guardband of a few hundred ns, minimum slice of a few µs.
+	if r.Budget.GuardNs < 100 || r.Budget.GuardNs > 1000 {
+		t.Errorf("guardband %d ns outside [100, 1000]", r.Budget.GuardNs)
+	}
+	if r.Budget.MinSliceNs < 1000 || r.Budget.MinSliceNs > 10_000 {
+		t.Errorf("min slice %d ns outside [1µs, 10µs]", r.Budget.MinSliceNs)
+	}
+	t.Log("\n" + r.String())
+}

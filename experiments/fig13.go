@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/stats"
+	"openoptics/internal/traffic"
+)
+
+// Fig13Result holds the emulation-accuracy validation (Fig. 13): the UDP
+// RTT distribution between one host pair on the RotorNet schedule, whose
+// stepped CDF — one plateau per extra routing hop/wait — must match the
+// behaviour "Realizing RotorNet" measured on real OCS hardware, minus that
+// system's kernel-stack tail.
+type Fig13Result struct {
+	RTT      *stats.Sample
+	CDF      []stats.CDFPoint
+	Plateaus int
+}
+
+// Fig13 replicates the UDP RTT experiment: continuous probes between two
+// hosts on RotorNet with VLB routing. Correctness signal: the CDF rises in
+// discrete steps tied to the optical schedule, not smoothly.
+func Fig13(p Params) (*Fig13Result, error) {
+	dur := p.dur(80*time.Millisecond, 25*time.Millisecond)
+	o := arch.Options{Nodes: p.nodes(8), HostsPerNode: 1, Seed: p.seed(),
+		SliceDurationNs: 100_000,
+		Tune: func(c *openoptics.Config) {
+			c.SyncErrorNs = 28 // the deployment bound, for realism
+		},
+	}
+	in, err := arch.RotorNet(o, arch.SchemeVLB)
+	if err != nil {
+		return nil, err
+	}
+	eps := in.Net.Endpoints()
+	sink := traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(in.Net.Engine(), eps[0], eps[5])
+	probe.IntervalNs = 20_000
+	probe.Payload = 1024
+	probe.Start(int64(dur))
+	if err := in.Run(dur + 10*time.Millisecond); err != nil {
+		return nil, err
+	}
+	if sink.RTT.N() < 100 {
+		return nil, fmt.Errorf("fig13: only %d RTTs", sink.RTT.N())
+	}
+	res := &Fig13Result{RTT: sink.RTT, CDF: sink.RTT.CDF(100)}
+	res.Plateaus = countPlateaus(res.CDF)
+	return res, nil
+}
+
+// countPlateaus detects the stepped structure: distinct RTT clusters
+// separated by gaps larger than a quarter slice.
+func countPlateaus(cdf []stats.CDFPoint) int {
+	vals := make([]float64, 0, len(cdf))
+	for _, p := range cdf {
+		vals = append(vals, p.V)
+	}
+	sort.Float64s(vals)
+	const gap = 25_000 // ns, quarter of the 100 µs slice
+	plateaus := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i]-vals[i-1] > gap {
+			plateaus++
+		}
+	}
+	return plateaus
+}
+
+func (r *Fig13Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 13 — UDP RTT distribution on RotorNet (emulated fabric)\n")
+	fmt.Fprintf(&b, "  %s\n", fctRow("udp-rtt", r.RTT))
+	fmt.Fprintf(&b, "  CDF steps (hop plateaus): %d\n", r.Plateaus)
+	b.WriteString("  CDF (P -> RTT):")
+	for i, pt := range r.CDF {
+		if i%10 == 0 {
+			fmt.Fprintf(&b, "\n   ")
+		}
+		fmt.Fprintf(&b, " %.2f:%s", pt.P, us(pt.V))
+	}
+	b.WriteString("\n(paper: stepped RTT increases per extra hop; OpenOptics curve has no kernel-stack long tail)\n")
+	return b.String()
+}

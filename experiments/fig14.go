@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/core"
+	"openoptics/internal/stats"
+)
+
+// Fig14Result holds the buffer-offloading RTT stability study (Fig. 14 /
+// Appx. A): 1500 B packets parked on a host at 100 µs intervals and
+// returned on receipt; the libvma-style stack must keep the RTT variance
+// within a microsecond, unlike a kernel-module path.
+type Fig14Result struct {
+	VMA    *stats.Sample // park->return RTT, ns
+	Kernel *stats.Sample
+	// IntervalDeviation: |gap between consecutive returns − 100 µs|.
+	VMADev    *stats.Sample
+	KernelDev *stats.Sample
+}
+
+// Fig14 drives the offload path directly: the observed ToR parks one
+// packet per interval on its host and measures the round trip and the
+// spacing jitter of the returns, for the userspace stack and for a
+// kernel-like stack with tens of microseconds of scheduling jitter.
+func Fig14(p Params) (*Fig14Result, error) {
+	dur := p.dur(60*time.Millisecond, 20*time.Millisecond)
+	res := &Fig14Result{}
+	var err error
+	// libvma: sub-microsecond stack jitter (the paper measures 0.75 µs
+	// of variance); kernel module: tens of microseconds of scheduling
+	// noise.
+	res.VMA, res.VMADev, err = fig14Run(750, dur, p.seed())
+	if err != nil {
+		return nil, err
+	}
+	res.Kernel, res.KernelDev, err = fig14Run(30_000, dur, p.seed())
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// fig14Run replicates the Appx. A probe: the observed ToR parks a 1500 B
+// packet on its host every 100 µs; the host returns it upon receipt. The
+// measured round trip isolates the switch<->host loop — downlink and
+// uplink serialization plus the host stack — so its variance is the
+// offloading stack's jitter, not circuit scheduling.
+func fig14Run(jitterNs int64, dur time.Duration, seed uint64) (*stats.Sample, *stats.Sample, error) {
+	cfg := openoptics.Config{
+		NodeNum:         2,
+		Uplink:          1,
+		SliceDurationNs: 100_000,
+		Seed:            seed,
+	}
+	n, err := openoptics.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, h := range n.Hosts() {
+		h.Cfg.ReturnJitterNs = jitterNs
+	}
+	circuits := []core.Circuit{openoptics.Connect(0, 0, 1, 0, core.WildcardSlice)}
+	if err := n.DeployTopo(circuits, 1); err != nil {
+		return nil, nil, err
+	}
+	paths := n.Direct(circuits, 1, openoptics.RoutingOptions{})
+	if err := n.DeployRouting(paths, core.LookupHop, core.MultipathNone); err != nil {
+		return nil, nil, err
+	}
+
+	rtt := stats.NewSample()
+	dev := stats.NewSample()
+	sw := n.Switches()[0]
+	var lastReturn int64 = -1
+	sw.OffloadSampler = func(ns int64) {
+		rtt.Add(float64(ns))
+		now := n.Engine().Now()
+		if lastReturn >= 0 {
+			d := now - lastReturn - 100_000
+			if d < 0 {
+				d = -d
+			}
+			dev.Add(float64(d))
+		}
+		lastReturn = now
+	}
+
+	// Park one 1500 B packet per 100 µs with no target slice: the host
+	// bounces it straight back (plus its stack's jitter).
+	eng := n.Engine()
+	i := uint64(0)
+	eng.Every(7_000, 100_000, func() bool {
+		if eng.Now() > int64(dur) {
+			return false
+		}
+		i++
+		pkt := &core.Packet{
+			ID:      i,
+			Flow:    core.FlowKey{SrcHost: 0, DstHost: 1, SrcPort: 3, DstPort: 4, Proto: core.ProtoUDP},
+			SrcNode: 0, DstNode: 1,
+			Size: 1500, Payload: 1500 - core.HeaderBytes,
+			Created:     eng.Now(),
+			OffloadedAt: eng.Now(),
+			Flags:       core.FlagOffloaded,
+			Ctrl:        core.CtrlOffload,
+			CtrlSlice:   core.WildcardSlice,
+			SR:          []core.SRHop{{Egress: 0, DepSlice: core.WildcardSlice}},
+			TTL:         core.DefaultTTL,
+		}
+		sw.Counters.Offloads++
+		swToHost(n, 0, pkt)
+		return true
+	})
+	n.Run(dur + 5*time.Millisecond)
+	if rtt.N() < 10 {
+		return nil, nil, fmt.Errorf("fig14: only %d offload RTTs (offloads=%d back=%d)",
+			rtt.N(), sw.Counters.Offloads, sw.Counters.OffloadsBack)
+	}
+	return rtt, dev, nil
+}
+
+// swToHost hands a crafted packet to host h's receive path via its
+// downlink (the switch-side injection the on-chip generator performs).
+func swToHost(n *openoptics.Net, h int, pkt *core.Packet) {
+	n.Hosts()[h].Receive(pkt, 0)
+}
+
+func (r *Fig14Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 14 — buffer-offload RTT stability (park -> return)\n")
+	rows := [][]string{
+		{"libvma", fmt.Sprintf("%d", r.VMA.N()), us(r.VMA.Percentile(50)), us(r.VMA.Percentile(95)),
+			us(r.VMA.Max() - r.VMA.Min()), us(r.VMADev.Percentile(95))},
+		{"kernel", fmt.Sprintf("%d", r.Kernel.N()), us(r.Kernel.Percentile(50)), us(r.Kernel.Percentile(95)),
+			us(r.Kernel.Max() - r.Kernel.Min()), us(r.KernelDev.Percentile(95))},
+	}
+	b.WriteString(table([]string{"stack", "n", "p50", "p95", "range", "interval dev p95"}, rows))
+	b.WriteString("(paper: 95% of libvma RTTs within 0.75 µs variance, ±0.25 µs of the 100 µs spacing)\n")
+	return b.String()
+}

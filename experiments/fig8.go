@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/stats"
+	"openoptics/internal/traffic"
+)
+
+// Fig8Result holds the Case I architecture comparison (Fig. 8): mice-flow
+// FCT distributions from the Memcached workload and elephant completion
+// times from Gloo-style ring allreduce, per architecture.
+type Fig8Result struct {
+	Arch     []string
+	Mice     map[string]*stats.Sample // FCT ns
+	Elephant map[string]*stats.Sample // allreduce duration ns
+}
+
+// Fig8 implements Case I (§6): six architectures plus RotorNet+UCMP run
+// the latency-sensitive and throughput-intensive testbed applications side
+// by side on identical hardware shapes.
+func Fig8(p Params) (*Fig8Result, error) {
+	nodes := p.nodes(8)
+	dur := p.dur(150*time.Millisecond, 40*time.Millisecond)
+	res := &Fig8Result{
+		Mice:     make(map[string]*stats.Sample),
+		Elephant: make(map[string]*stats.Sample),
+	}
+	builders := fig8Architectures(nodes, p.seed())
+	for _, b := range builders {
+		in, err := b.build()
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", b.name, err)
+		}
+		mice, eleph, err := runFig8Workloads(in, dur, p)
+		if err != nil {
+			return nil, fmt.Errorf("fig8 %s: %w", b.name, err)
+		}
+		res.Arch = append(res.Arch, b.name)
+		res.Mice[b.name] = mice
+		res.Elephant[b.name] = eleph
+	}
+	return res, nil
+}
+
+type archBuilder struct {
+	name  string
+	build func() (*arch.Instance, error)
+}
+
+// fig8Architectures mirrors the Case I lineup.
+func fig8Architectures(nodes int, seed uint64) []archBuilder {
+	base := arch.Options{Nodes: nodes, HostsPerNode: 1, Seed: seed,
+		SliceDurationNs: 100_000}
+	return []archBuilder{
+		{"clos", func() (*arch.Instance, error) { return arch.Clos(base) }},
+		{"c-through", func() (*arch.Instance, error) {
+			o := base
+			o.Tune = func(c *openoptics.Config) { c.ElephantBytes = 100_000 }
+			return arch.CThrough(o)
+		}},
+		{"jupiter", func() (*arch.Instance, error) {
+			o := base
+			o.Uplink = 3
+			o.ReconfigureEvery = 20 * time.Millisecond
+			return arch.Jupiter(o)
+		}},
+		{"mordia", func() (*arch.Instance, error) {
+			o := base
+			o.ReconfigureEvery = 20 * time.Millisecond
+			return arch.Mordia(o)
+		}},
+		{"rotornet-vlb", func() (*arch.Instance, error) { return arch.RotorNet(base, arch.SchemeVLB) }},
+		{"opera", func() (*arch.Instance, error) {
+			o := base
+			o.Uplink = 2
+			return arch.Opera(o)
+		}},
+		{"rotornet-ucmp", func() (*arch.Instance, error) { return arch.RotorNet(base, arch.SchemeUCMP) }},
+	}
+}
+
+// runFig8Workloads drives Memcached (mice) and sequential allreduce
+// collectives (elephants) concurrently on the instance.
+func runFig8Workloads(in *arch.Instance, dur time.Duration, p Params) (*stats.Sample, *stats.Sample, error) {
+	eps := in.Net.Endpoints()
+	sink := traffic.NewSink(eps)
+
+	mc := traffic.NewMemcached(in.Net.Engine(), eps[0], eps[1:], p.seed())
+	mc.Start(int64(dur))
+
+	eleph := stats.NewSample()
+	sizes := []int64{800_000, 4_000_000, 20_000_000}
+	if p.Quick {
+		sizes = []int64{800_000}
+	}
+	ar := traffic.NewAllReduce(in.Net.Engine(), eps, sizes[0])
+	iter := 0
+	ar.OnDone = func(ns int64) {
+		eleph.Add(float64(ns))
+		if in.Net.Engine().Now() < int64(dur) {
+			iter++
+			ar.Restart(sizes[iter%len(sizes)])
+		}
+	}
+	ar.Start()
+
+	if err := in.Run(dur + dur/2); err != nil { // tail room for completions
+		return nil, nil, err
+	}
+	return sink.FCTSample(traffic.PortMemcached), eleph, nil
+}
+
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 (a) — Memcached mice-flow FCTs\n")
+	for _, a := range r.Arch {
+		fmt.Fprintf(&b, "  %s\n", fctRow(a, r.Mice[a]))
+	}
+	b.WriteString("Fig. 8 (b) — Gloo allreduce completion times\n")
+	for _, a := range r.Arch {
+		s := r.Elephant[a]
+		fmt.Fprintf(&b, "  %-16s n=%-4d mean=%-12s max=%s\n",
+			a, s.N(), ms(s.Mean()), ms(s.Max()))
+	}
+	return b.String()
+}

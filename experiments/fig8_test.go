@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFig8Shapes(t *testing.T) {
+	r, err := Fig8(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Arch) != 7 {
+		t.Fatalf("architectures = %v", r.Arch)
+	}
+	for _, a := range r.Arch {
+		if r.Mice[a].N() < 50 {
+			t.Errorf("%s: only %d mice FCTs", a, r.Mice[a].N())
+		}
+		if r.Elephant[a].N() < 1 {
+			t.Errorf("%s: no allreduce completed", a)
+		}
+	}
+	if t.Failed() {
+		t.Log(r.String())
+		t.FailNow()
+	}
+	// Headline shapes from §6: RotorNet's VLB has the longest mice tail;
+	// UCMP improves on VLB; TO architectures roughly double the elephant
+	// completion times of the electrical baseline.
+	vlbTail := r.Mice["rotornet-vlb"].Percentile(99)
+	closTail := r.Mice["clos"].Percentile(99)
+	ucmpTail := r.Mice["rotornet-ucmp"].Percentile(99)
+	if vlbTail <= closTail {
+		t.Errorf("VLB mice tail (%.0f) should exceed Clos (%.0f)", vlbTail, closTail)
+	}
+	if ucmpTail >= vlbTail {
+		t.Errorf("UCMP mice tail (%.0f) should beat VLB (%.0f)", ucmpTail, vlbTail)
+	}
+	if r.Elephant["rotornet-vlb"].Mean() <= r.Elephant["clos"].Mean() {
+		t.Errorf("TO elephants (%.0f) should be slower than Clos (%.0f)",
+			r.Elephant["rotornet-vlb"].Mean(), r.Elephant["clos"].Mean())
+	}
+	t.Log("\n" + r.String())
+}

@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+)
+
+// Fig9Row is one bar of the Case II study: a network/routing/transport
+// combination with its iperf throughput and reordering count.
+type Fig9Row struct {
+	Name          string
+	DupAck        int
+	ThroughputBps float64
+	ReorderEvents uint64
+	Retransmits   uint64
+}
+
+// Fig9Result holds the Case II transport-layer investigation (Fig. 9):
+// long-lived TCP throughput and packet-reordering events across Clos,
+// RotorNet with direct-circuit and VLB routing, and hybrid RotorNet, at
+// dupack thresholds 3 and 5.
+type Fig9Result struct {
+	Rows []Fig9Row
+}
+
+// Fig9 implements Case II (§6). The testbed shape follows the paper: each
+// ToR has four optical uplinks (so direct circuits are up 50% of the
+// time) and the hybrid variant adds a 10 Gbps electrical fabric.
+func Fig9(p Params) (*Fig9Result, error) {
+	dur := p.dur(60*time.Millisecond, 15*time.Millisecond)
+	nodes := p.nodes(8)
+	res := &Fig9Result{}
+	for _, dup := range []int{3, 5} {
+		for _, kind := range []string{"clos", "rotor-direct", "rotor-vlb", "hybrid"} {
+			row, err := fig9Run(kind, dup, nodes, dur, p.seed())
+			if err != nil {
+				return nil, fmt.Errorf("fig9 %s/dup%d: %w", kind, dup, err)
+			}
+			res.Rows = append(res.Rows, *row)
+		}
+	}
+	// Extension beyond the paper's rows: the TDTCP scenario proper — a
+	// slice-determined hybrid whose path capacity alternates between the
+	// 100 Gbps circuit (in its slice) and the 10 Gbps electrical fabric
+	// (otherwise). Classic TCP's single window chases the alternation;
+	// TDTCP keeps one congestion state per slice.
+	for _, kind := range []string{"hybrid-slice", "hybrid-slice-tdtcp"} {
+		row, err := fig9Run(kind, 3, nodes, dur, p.seed())
+		if err != nil {
+			return nil, fmt.Errorf("fig9 %s: %w", kind, err)
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	return res, nil
+}
+
+func fig9Run(kind string, dupAck, nodes int, dur time.Duration, seed uint64) (*Fig9Row, error) {
+	const uplink = 4 // 50% direct-circuit duty at 8 ToRs (ceil(7/4)=2 slices)
+	tune := func(c *openoptics.Config) {
+		c.DupAckThreshold = dupAck
+		c.RTONs = int64(2 * time.Millisecond)
+	}
+	o := arch.Options{Nodes: nodes, Uplink: uplink, HostsPerNode: 1,
+		SliceDurationNs: 100_000, Seed: seed, Tune: tune}
+
+	var in *arch.Instance
+	var err error
+	switch kind {
+	case "clos":
+		in, err = arch.Clos(o)
+	case "rotor-direct":
+		o.Tune = func(c *openoptics.Config) {
+			tune(c)
+			c.FlowPausing = true // hold flows until their circuit, as §6 does
+			c.ElephantBytes = 100_000
+		}
+		in, err = arch.RotorNet(o, arch.SchemeDirect)
+	case "rotor-vlb":
+		in, err = arch.RotorNet(o, arch.SchemeVLB)
+	case "hybrid":
+		// Spray hybrid: 100 Gbps optical direct circuits plus a 10 Gbps
+		// electrical fabric, traffic split across both per packet.
+		o.Tune = func(c *openoptics.Config) {
+			tune(c)
+			c.ElectricalGbps = 10
+		}
+		in, err = arch.RotorNet(o, arch.SchemeDirect)
+		if err == nil {
+			n := in.Net
+			circuits, numSlices, rerr := openoptics.RoundRobin(nodes, uplink)
+			if rerr != nil {
+				return nil, rerr
+			}
+			direct := n.Direct(circuits, numSlices, openoptics.RoutingOptions{})
+			// Pair each per-slice optical path with an electrical path
+			// under the same (src, dst, arrival slice) match so the two
+			// compile into one multipath group — packets spray across
+			// fabrics, the delay disparity between which provokes the
+			// reordering this case study is about. Weights mirror the
+			// average capacities (~50 Gbps optical vs 10 Gbps electrical).
+			hybrid := make([]core.Path, 0, 2*len(direct))
+			for _, d := range direct {
+				d.Weight = 5
+				hybrid = append(hybrid, d)
+				hybrid = append(hybrid, core.Path{
+					Src: d.Src, Dst: d.Dst, TS: d.TS, Weight: 1,
+					Hops: []core.Hop{{Node: d.Src, Egress: n.ElectricalPort(), DepSlice: d.TS}},
+				})
+			}
+			if err := n.DeployRouting(hybrid, core.LookupHop, core.MultipathPacket); err != nil {
+				return nil, err
+			}
+		}
+	case "hybrid-slice", "hybrid-slice-tdtcp":
+		// Slice-determined hybrid (the TDTCP scenario): a packet arriving
+		// during its destination's circuit slice rides the 100 Gbps
+		// circuit; in any other slice it goes out the 10 Gbps electrical
+		// fabric immediately. Path capacity alternates with the schedule.
+		o.Tune = func(c *openoptics.Config) {
+			tune(c)
+			c.ElectricalGbps = 10
+			if kind == "hybrid-slice-tdtcp" {
+				c.TDTCPDivisions = 2 // one congestion state per slice
+			}
+		}
+		in, err = arch.RotorNet(o, arch.SchemeDirect)
+		if err == nil {
+			n := in.Net
+			circuits, numSlices, rerr := openoptics.RoundRobin(nodes, uplink)
+			if rerr != nil {
+				return nil, rerr
+			}
+			ix := core.NewConnIndex(&core.Schedule{NumSlices: numSlices,
+				SliceDuration: n.Schedule().SliceDuration, Circuits: circuits})
+			var paths []core.Path
+			for s := core.NodeID(0); int(s) < nodes; s++ {
+				for d := core.NodeID(0); int(d) < nodes; d++ {
+					if s == d {
+						continue
+					}
+					for ts := 0; ts < numSlices; ts++ {
+						arr := core.Slice(ts)
+						if eg, ok := ix.EgressPort(s, d, arr); ok {
+							paths = append(paths, core.Path{Src: s, Dst: d, TS: arr, Weight: 1,
+								Hops: []core.Hop{{Node: s, Egress: eg, DepSlice: arr}}})
+						} else {
+							paths = append(paths, core.Path{Src: s, Dst: d, TS: arr, Weight: 1,
+								Hops: []core.Hop{{Node: s, Egress: n.ElectricalPort(), DepSlice: arr}}})
+						}
+					}
+				}
+			}
+			if err := n.DeployRouting(paths, core.LookupHop, core.MultipathNone); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown fig9 variant %q", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	eps := in.Net.Endpoints()
+	ip := traffic.NewIperf(in.Net.Engine(), [][2]traffic.Endpoint{{eps[0], eps[nodes/2]}})
+	if err := in.Run(dur); err != nil {
+		return nil, err
+	}
+	var reorders uint64
+	for _, ep := range eps {
+		reorders += ep.Stack.ReorderEvents
+	}
+	return &Fig9Row{
+		Name:          kind,
+		DupAck:        dupAck,
+		ThroughputBps: ip.GoodputBps(),
+		ReorderEvents: reorders,
+		Retransmits:   ip.Retransmissions(),
+	}, nil
+}
+
+func (r *Fig9Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 9 — iperf TCP throughput (a) and reordering events (b)\n")
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Name, fmt.Sprintf("%d", row.DupAck), gbps(row.ThroughputBps),
+			fmt.Sprintf("%d", row.ReorderEvents), fmt.Sprintf("%d", row.Retransmits),
+		})
+	}
+	b.WriteString(table([]string{"network", "dupack", "throughput", "reorders", "retx"}, rows))
+	return b.String()
+}

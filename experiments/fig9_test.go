@@ -1,0 +1,97 @@
+package experiments
+
+import "testing"
+
+func TestFig9Shapes(t *testing.T) {
+	r, err := Fig9(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	get := func(name string, dup int) Fig9Row {
+		for _, row := range r.Rows {
+			if row.Name == name && row.DupAck == dup {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%d", name, dup)
+		return Fig9Row{}
+	}
+	clos := get("clos", 3)
+	direct := get("rotor-direct", 3)
+	vlb := get("rotor-vlb", 3)
+	hybrid3 := get("hybrid", 3)
+	hybrid5 := get("hybrid", 5)
+
+	if clos.ThroughputBps <= 0 || direct.ThroughputBps <= 0 {
+		t.Fatalf("zero throughput: %+v", r.Rows)
+	}
+	// §6 shapes: Clos is the upper bound; direct-circuit lands at roughly
+	// half of it (50% duty); VLB collapses under reordering; raising the
+	// dupack threshold recovers hybrid throughput.
+	if direct.ThroughputBps >= clos.ThroughputBps {
+		t.Errorf("direct (%.1fG) should be below clos (%.1fG)",
+			direct.ThroughputBps/1e9, clos.ThroughputBps/1e9)
+	}
+	if frac := direct.ThroughputBps / clos.ThroughputBps; frac < 0.25 || frac > 0.75 {
+		t.Errorf("direct/clos = %.2f, want ~0.5", frac)
+	}
+	if vlb.ThroughputBps >= direct.ThroughputBps {
+		t.Errorf("VLB (%.1fG) should lag direct (%.1fG) from reordering",
+			vlb.ThroughputBps/1e9, direct.ThroughputBps/1e9)
+	}
+	if vlb.ReorderEvents <= clos.ReorderEvents {
+		t.Errorf("VLB reorders (%d) should exceed clos (%d)", vlb.ReorderEvents, clos.ReorderEvents)
+	}
+	if hybrid5.ThroughputBps <= hybrid3.ThroughputBps {
+		t.Errorf("dupack=5 hybrid (%.1fG) should beat dupack=3 (%.1fG)",
+			hybrid5.ThroughputBps/1e9, hybrid3.ThroughputBps/1e9)
+	}
+	if hybrid5.ReorderEvents > hybrid3.ReorderEvents {
+		t.Logf("note: hybrid reorders dup5=%d dup3=%d", hybrid5.ReorderEvents, hybrid3.ReorderEvents)
+	}
+	// Extension: on the slice-determined hybrid, TDTCP's per-division
+	// congestion state must beat classic TCP's single window chasing the
+	// alternating 100G/10G capacity.
+	slice3 := get("hybrid-slice", 3)
+	tdtcp := get("hybrid-slice-tdtcp", 3)
+	if tdtcp.ThroughputBps <= slice3.ThroughputBps {
+		t.Errorf("TDTCP (%.1fG) should beat classic TCP (%.1fG) on the slice hybrid",
+			tdtcp.ThroughputBps/1e9, slice3.ThroughputBps/1e9)
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestFig10Shapes(t *testing.T) {
+	r, err := Fig10(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §6 shapes: VLB's tail grows with the slice duration; UCMP is far
+	// less sensitive (flat in the middle of the sweep).
+	vlbShort := r.FCT["vlb"]["AWGR-2us"].Percentile(99)
+	vlbLong := r.FCT["vlb"]["LC-200us"].Percentile(99)
+	if vlbLong <= vlbShort {
+		t.Errorf("VLB p99 at 200µs (%.0f) should exceed 2µs (%.0f)", vlbLong, vlbShort)
+	}
+	ucmp100 := r.FCT["ucmp"]["DMD-100us"].Percentile(99)
+	ucmp200 := r.FCT["ucmp"]["LC-200us"].Percentile(99)
+	vlb200 := r.FCT["vlb"]["LC-200us"].Percentile(99)
+	if ucmp200 >= vlb200 {
+		t.Errorf("UCMP p99 at 200µs (%.0f) should beat VLB (%.0f)", ucmp200, vlb200)
+	}
+	// "little difference at 200µs" vs 100µs for UCMP: within 4x.
+	if ucmp200 > 4*ucmp100 {
+		t.Errorf("UCMP p99 jumped %0.f -> %.0f between 100µs and 200µs", ucmp100, ucmp200)
+	}
+	for _, scheme := range []string{"vlb", "ucmp"} {
+		for _, prof := range r.Profiles {
+			if r.FCT[scheme][prof.Name].N() < 30 {
+				t.Errorf("%s/%s: only %d samples", scheme, prof.Name, r.FCT[scheme][prof.Name].N())
+			}
+		}
+	}
+	t.Log("\n" + r.String())
+}

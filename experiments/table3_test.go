@@ -1,0 +1,60 @@
+package experiments
+
+import "testing"
+
+func TestTable3Shapes(t *testing.T) {
+	r, err := Table3(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range r.Traces {
+		vlb := r.Cells[tr]["vlb"].P999Bytes
+		off := r.Cells[tr]["vlb+offload"].P999Bytes
+		hoho := r.Cells[tr]["hoho"].P999Bytes
+		ucmp := r.Cells[tr]["ucmp"].P999Bytes
+		// §Appx A shapes: VLB buffers the most (packets wait at
+		// intermediates for up to a cycle); HOHO and UCMP stay low;
+		// offloading slashes VLB's on-switch footprint.
+		if vlb <= hoho || vlb <= ucmp {
+			t.Errorf("%s: VLB (%.0f) should exceed HOHO (%.0f) and UCMP (%.0f)", tr, vlb, hoho, ucmp)
+		}
+		if off >= vlb/2 {
+			t.Errorf("%s: offloading (%.0f) should cut VLB buffer (%.0f) by >= 2x", tr, off, vlb)
+		}
+		if r.Cells[tr]["vlb+offload"].Parked == 0 {
+			t.Errorf("%s: offload never engaged", tr)
+		}
+		// Everything fits the 64 MB Tofino2 budget.
+		for rt, c := range r.Cells[tr] {
+			if c.P999Bytes > 64e6 {
+				t.Errorf("%s/%s: %.1f MB exceeds the 64 MB buffer", tr, rt, c.P999Bytes/1e6)
+			}
+		}
+	}
+	t.Log("\n" + r.String())
+}
+
+func TestTable4Shapes(t *testing.T) {
+	r, err := Table4(Params{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range r.Traces {
+		none := r.Cells[tr]["none"]
+		both := r.Cells[tr]["detect+pushback"]
+		// Appx B shapes: push-back plus detection eliminates (or nearly
+		// eliminates) loss and slashes tail delay.
+		if both.LossRate > none.LossRate && none.LossRate > 0 {
+			t.Errorf("%s: loss with both (%.3f) should not exceed none (%.3f)",
+				tr, both.LossRate, none.LossRate)
+		}
+		if both.LossRate > 0.002 {
+			t.Errorf("%s: loss with push-back = %.4f, want ~0", tr, both.LossRate)
+		}
+		if none.P95DelayNs > 0 && both.P95DelayNs >= none.P95DelayNs {
+			t.Errorf("%s: p95 delay with both (%.0f) should beat none (%.0f)",
+				tr, both.P95DelayNs, none.P95DelayNs)
+		}
+	}
+	t.Log("\n" + r.String())
+}

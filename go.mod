@@ -1,0 +1,3 @@
+module openoptics
+
+go 1.22

@@ -1,0 +1,124 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"openoptics/internal/core"
+)
+
+// OCSStructure describes the physical optical fabric declared in the
+// static configuration file: how many OCS devices there are, how many
+// ports each has, and the reconfiguration delay of the device class. Node
+// uplink u is wired to OCS u%Count at OCS port <node index> — the
+// canonical wiring of rotor-style deployments where each node spreads its
+// uplinks across the switch plane.
+type OCSStructure struct {
+	Count          int   // number of OCS devices
+	PortsPerOCS    int   // ports on each OCS
+	UplinksPerNode int   // node uplinks spread over the OCS plane (default Count)
+	ReconfDelayNs  int64 // circuit reconfiguration delay (guardband driver)
+	InsertionLossD float64
+}
+
+// perOCSUplinks returns how many uplinks of one node land on one OCS.
+func (st OCSStructure) perOCSUplinks() int {
+	u := st.UplinksPerNode
+	if u <= 0 {
+		u = st.Count
+	}
+	return (u + st.Count - 1) / st.Count
+}
+
+// OCSConnection is one internal waveguide configuration on an OCS: during
+// slice Slice, OCS port InPort is connected to port OutPort (duplex).
+type OCSConnection struct {
+	OCS     int
+	InPort  int
+	OutPort int
+	Slice   core.Slice
+}
+
+// OCSProgram is the compiled fabric program deploy_topo() produces: the
+// internal connection list for every OCS, slice by slice.
+type OCSProgram struct {
+	Structure   OCSStructure
+	Connections []OCSConnection
+}
+
+// CompileTopo implements the deploy_topo() feasibility check and
+// compilation (Table 1): it validates the schedule (port exclusivity,
+// slice ranges) and maps node-level circuits onto per-OCS internal
+// connections. A circuit is feasible only if both endpoints reach the same
+// OCS, i.e. matching uplink indices modulo the OCS count, and node indices
+// fit the OCS port count.
+func CompileTopo(sched *core.Schedule, st OCSStructure) (*OCSProgram, error) {
+	if st.Count < 1 {
+		return nil, fmt.Errorf("controller: OCS count must be >= 1, got %d", st.Count)
+	}
+	if st.PortsPerOCS < 2 {
+		return nil, fmt.Errorf("controller: OCS needs >= 2 ports, got %d", st.PortsPerOCS)
+	}
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	prog := &OCSProgram{Structure: st}
+	per := st.perOCSUplinks()
+	for _, c := range sched.Circuits {
+		ocsA := int(c.PortA) % st.Count
+		ocsB := int(c.PortB) % st.Count
+		if ocsA != ocsB {
+			return nil, fmt.Errorf(
+				"controller: circuit %v infeasible: uplink %d of N%d reaches OCS %d but uplink %d of N%d reaches OCS %d",
+				c, c.PortA, c.A, ocsA, c.PortB, c.B, ocsB)
+		}
+		// A node contributes per-OCS as many ports as uplinks it spreads
+		// onto that device: OCS port = node*per + local uplink slot.
+		pa := int(c.A)*per + int(c.PortA)/st.Count
+		pb := int(c.B)*per + int(c.PortB)/st.Count
+		if pa >= st.PortsPerOCS || pb >= st.PortsPerOCS {
+			return nil, fmt.Errorf(
+				"controller: circuit %v infeasible: port index exceeds OCS port count %d", c, st.PortsPerOCS)
+		}
+		prog.Connections = append(prog.Connections, OCSConnection{
+			OCS: ocsA, InPort: pa, OutPort: pb, Slice: c.Slice,
+		})
+	}
+	// Per-OCS exclusivity: one connection per port per slice.
+	type pk struct {
+		ocs, port int
+		ts        core.Slice
+	}
+	used := make(map[pk]OCSConnection)
+	for _, cn := range prog.Connections {
+		for _, p := range []int{cn.InPort, cn.OutPort} {
+			k := pk{cn.OCS, p, cn.Slice}
+			if prev, dup := used[k]; dup && prev != cn && !sameDuplex(prev, cn) {
+				return nil, fmt.Errorf(
+					"controller: OCS %d port %d double-booked in slice %d (%+v vs %+v)",
+					cn.OCS, p, cn.Slice, prev, cn)
+			}
+			used[k] = cn
+		}
+	}
+	sort.Slice(prog.Connections, func(i, j int) bool {
+		a, b := prog.Connections[i], prog.Connections[j]
+		if a.Slice != b.Slice {
+			return a.Slice < b.Slice
+		}
+		if a.OCS != b.OCS {
+			return a.OCS < b.OCS
+		}
+		if a.InPort != b.InPort {
+			return a.InPort < b.InPort
+		}
+		return a.OutPort < b.OutPort
+	})
+	return prog, nil
+}
+
+func sameDuplex(a, b OCSConnection) bool {
+	return a.OCS == b.OCS && a.Slice == b.Slice &&
+		((a.InPort == b.InPort && a.OutPort == b.OutPort) ||
+			(a.InPort == b.OutPort && a.OutPort == b.InPort))
+}

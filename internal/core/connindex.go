@@ -1,0 +1,114 @@
+package core
+
+import "sort"
+
+// ConnIndex is a queryable index over a circuit set, answering the
+// connectivity questions routing algorithms ask: "who is node n connected
+// to in slice ts?" (the neighbors() helper of Table 1) and "which circuit
+// joins a and b in slice ts?". Static (wildcard-slice) circuits are visible
+// in every slice.
+type ConnIndex struct {
+	numSlices int
+	bySlice   []map[NodeID][]Circuit // per-slice adjacency
+	static    map[NodeID][]Circuit   // wildcard-slice adjacency
+	nodes     []NodeID
+}
+
+// NewConnIndex builds an index for the given schedule.
+func NewConnIndex(s *Schedule) *ConnIndex {
+	ns := s.NumSlices
+	if ns < 1 {
+		ns = 1
+	}
+	ix := &ConnIndex{
+		numSlices: ns,
+		bySlice:   make([]map[NodeID][]Circuit, ns),
+		static:    make(map[NodeID][]Circuit),
+	}
+	for i := range ix.bySlice {
+		ix.bySlice[i] = make(map[NodeID][]Circuit)
+	}
+	seen := make(map[NodeID]bool)
+	addNode := func(n NodeID) {
+		if !seen[n] {
+			seen[n] = true
+			ix.nodes = append(ix.nodes, n)
+		}
+	}
+	for _, c := range s.Circuits {
+		addNode(c.A)
+		addNode(c.B)
+		if c.Slice.IsWildcard() {
+			ix.static[c.A] = append(ix.static[c.A], c)
+			ix.static[c.B] = append(ix.static[c.B], c)
+			continue
+		}
+		m := ix.bySlice[int(c.Slice)%ns]
+		m[c.A] = append(m[c.A], c)
+		m[c.B] = append(m[c.B], c)
+	}
+	sort.Slice(ix.nodes, func(i, j int) bool { return ix.nodes[i] < ix.nodes[j] })
+	return ix
+}
+
+// NumSlices returns the cycle length the index was built for.
+func (ix *ConnIndex) NumSlices() int { return ix.numSlices }
+
+// Nodes returns all endpoint nodes that appear in any circuit, ascending.
+func (ix *ConnIndex) Nodes() []NodeID { return ix.nodes }
+
+// Circuits returns the circuits incident to node n during slice ts
+// (including static circuits). ts == WildcardSlice returns only static
+// circuits — the TA/static-topology view.
+func (ix *ConnIndex) Circuits(n NodeID, ts Slice) []Circuit {
+	if ts.IsWildcard() {
+		return ix.static[n]
+	}
+	dyn := ix.bySlice[int(ts)%ix.numSlices][n]
+	st := ix.static[n]
+	if len(st) == 0 {
+		return dyn
+	}
+	out := make([]Circuit, 0, len(dyn)+len(st))
+	out = append(out, dyn...)
+	out = append(out, st...)
+	return out
+}
+
+// Neighbors implements the neighbors() helper (Table 1): all nodes with a
+// direct circuit to n in slice ts. Duplicate peers (parallel circuits) are
+// deduplicated; order is deterministic.
+func (ix *ConnIndex) Neighbors(n NodeID, ts Slice) []NodeID {
+	cs := ix.Circuits(n, ts)
+	seen := make(map[NodeID]bool, len(cs))
+	out := make([]NodeID, 0, len(cs))
+	for _, c := range cs {
+		peer, _, ok := c.Other(n)
+		if ok && !seen[peer] {
+			seen[peer] = true
+			out = append(out, peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CircuitBetween returns a circuit joining a and b during slice ts, if any.
+func (ix *ConnIndex) CircuitBetween(a, b NodeID, ts Slice) (Circuit, bool) {
+	for _, c := range ix.Circuits(a, ts) {
+		if peer, _, ok := c.Other(a); ok && peer == b {
+			return c, true
+		}
+	}
+	return Circuit{}, false
+}
+
+// EgressPort returns the local port on node n that reaches peer during
+// slice ts, the quantity per-hop table compilation needs.
+func (ix *ConnIndex) EgressPort(n, peer NodeID, ts Slice) (PortID, bool) {
+	c, ok := ix.CircuitBetween(n, peer, ts)
+	if !ok {
+		return NoPort, false
+	}
+	return c.LocalPort(n)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// Proto enumerates transport protocols carried by simulated packets.
+type Proto uint8
+
+// Transport protocol numbers (IANA-style where applicable).
+const (
+	ProtoUDP  Proto = 17
+	ProtoTCP  Proto = 6
+	ProtoCtrl Proto = 255 // control messages: push-back, circuit signals, offload
+)
+
+// FlowKey is the classic five tuple identifying a transport flow between
+// two hosts.
+type FlowKey struct {
+	SrcHost HostID
+	DstHost HostID
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+}
+
+// Reverse returns the key of the reverse direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{SrcHost: k.DstHost, DstHost: k.SrcHost,
+		SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
+}
+
+// Hash returns a stable 64-bit hash of the five tuple, used for per-flow
+// multipath selection.
+func (k FlowKey) Hash() uint64 {
+	h := fnv.New64a()
+	var b [13]byte
+	b[0] = byte(k.SrcHost >> 24)
+	b[1] = byte(k.SrcHost >> 16)
+	b[2] = byte(k.SrcHost >> 8)
+	b[3] = byte(k.SrcHost)
+	b[4] = byte(k.DstHost >> 24)
+	b[5] = byte(k.DstHost >> 16)
+	b[6] = byte(k.DstHost >> 8)
+	b[7] = byte(k.DstHost)
+	b[8] = byte(k.SrcPort >> 8)
+	b[9] = byte(k.SrcPort)
+	b[10] = byte(k.DstPort >> 8)
+	b[11] = byte(k.DstPort)
+	b[12] = byte(k.Proto)
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("h%d:%d>h%d:%d/%d", k.SrcHost, k.SrcPort, k.DstHost, k.DstPort, k.Proto)
+}
+
+// PacketFlags mark special packet roles and fates.
+type PacketFlags uint16
+
+// Packet flag bits.
+const (
+	FlagSYN       PacketFlags = 1 << iota // TCP connection setup
+	FlagFIN                               // TCP teardown
+	FlagACK                               // carries an acknowledgment
+	FlagTrimmed                           // payload trimmed by congestion response (Opera-style)
+	FlagOffloaded                         // parked on a host by buffer offloading
+	FlagPushBack                          // traffic push-back control message
+	FlagSignal                            // circuit-notification signal message
+	FlagGenerator                         // on-chip packet-generator packet
+	FlagEcho                              // UDP echo request/reply for RTT probing
+	FlagReport                            // traffic-collection report
+)
+
+// CtrlKind distinguishes control-plane message types carried in packets
+// with ProtoCtrl.
+type CtrlKind uint8
+
+// Control message kinds (§5.2 infra services).
+const (
+	CtrlNone        CtrlKind = iota
+	CtrlPushBack             // "queue for slice S at node N is full" broadcast
+	CtrlSignal               // "circuit to node N up in slice S" notification
+	CtrlSignalClose          // "circuit to node N torn down" (TA reconfiguration)
+	CtrlOffload              // packet parked on host / returned to switch
+	CtrlReport               // per-destination traffic volume report
+)
+
+// Packet is the unit of data moving through the simulated network. The
+// endpoint-node fields (SrcNode/DstNode) are the routing identity used by
+// time-flow tables; the FlowKey addresses hosts under those nodes.
+type Packet struct {
+	ID       uint64
+	Flow     FlowKey
+	SrcNode  NodeID // endpoint node (ToR) of the source host
+	DstNode  NodeID // endpoint node (ToR) of the destination host
+	Size     int32  // wire size in bytes, headers included
+	Payload  int32  // transport payload bytes
+	Seq      uint32 // transport byte-offset sequence number
+	Ack      uint32 // cumulative ACK (TCP)
+	Flags    PacketFlags
+	Created  int64 // virtual time the packet entered the network
+	Enqueued int64 // virtual time of last enqueue (for delay accounting)
+
+	// ArrSlice is stamped by the ingress pipeline on every hop: the slice
+	// in which the packet arrived at the current node (Req. 1).
+	ArrSlice Slice
+
+	// Source routing state (Fig. 3 d): remaining hops and cursor.
+	SR    []SRHop
+	SRIdx int
+
+	// HopCount counts endpoint-node hops taken, for path-length telemetry.
+	HopCount int
+
+	// Ctrl describes control messages (ProtoCtrl).
+	Ctrl      CtrlKind
+	CtrlNode  NodeID // subject node of the control message
+	CtrlSlice Slice  // subject slice of the control message
+	Echo      int64  // timestamp echoed back for RTT probes
+
+	// OffloadedAt is the time the packet was parked on a host by buffer
+	// offloading (0 if never offloaded).
+	OffloadedAt int64
+
+	// TTL guards against forwarding loops in misconfigured tables.
+	TTL int8
+}
+
+// HeaderBytes is the fixed per-packet header overhead (Ethernet + IP + UDP
+// or TCP, amortized) used when converting payload to wire size.
+const HeaderBytes = 64
+
+// MTU is the maximum wire size of a simulated packet.
+const MTU = 1500
+
+// MaxPayload is the largest payload one packet can carry.
+const MaxPayload = MTU - HeaderBytes
+
+// DefaultTTL is the initial hop budget for data packets. TO paths are short
+// (VLB ≤ 2 fabric hops) but offloading and deferrals revisit nodes.
+const DefaultTTL = 32
+
+// HasFlag reports whether all bits of f are set on the packet.
+func (p *Packet) HasFlag(f PacketFlags) bool { return p.Flags&f == f }
+
+// NextSR pops the next source-route hop. ok is false when the route is
+// exhausted (packet is at the last fabric hop).
+func (p *Packet) NextSR() (SRHop, bool) {
+	if p.SRIdx >= len(p.SR) {
+		return SRHop{}, false
+	}
+	h := p.SR[p.SRIdx]
+	p.SRIdx++
+	return h, true
+}
+
+// IsCtrl reports whether the packet is a control-plane message.
+func (p *Packet) IsCtrl() bool { return p.Flow.Proto == ProtoCtrl }
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt%d %v N%d=>N%d size=%d seq=%d", p.ID, p.Flow, p.SrcNode, p.DstNode, p.Size, p.Seq)
+}

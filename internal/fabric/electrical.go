@@ -1,0 +1,106 @@
+package fabric
+
+import (
+	"openoptics/internal/core"
+	"openoptics/internal/sim"
+)
+
+// ElectricalFabric is a packet-switched fabric device — the testbed's
+// fourth Tofino2 acting as the electrical network for the Clos baseline
+// and the static side of hybrid (TA-1) architectures. It is an
+// output-queued switch: packets are routed by destination endpoint node to
+// the attached port and drained at line rate from a drop-tail queue.
+type ElectricalFabric struct {
+	eng *sim.Engine
+
+	ports  []*elecPort
+	byNode map[core.NodeID]int
+
+	// PipelineDelay models ingress processing latency.
+	PipelineDelay int64
+	// QueueCapBytes bounds each output queue (drop-tail). 0 = 16 MB.
+	QueueCapBytes int64
+
+	DropsQueue   uint64
+	DropsNoRoute uint64
+	Forwarded    uint64
+}
+
+type elecPort struct {
+	link    *Link
+	fifo    []*core.Packet
+	bytes   int64
+	busy    bool
+	maxSeen int64
+}
+
+// NewElectricalFabric creates an empty electrical fabric.
+func NewElectricalFabric(eng *sim.Engine) *ElectricalFabric {
+	return &ElectricalFabric{eng: eng, byNode: make(map[core.NodeID]int)}
+}
+
+// Attach plugs the (electrical) uplink of endpoint node `node` into the
+// fabric and returns the fabric port index. Traffic destined to that node
+// exits here.
+func (f *ElectricalFabric) Attach(node core.NodeID, link *Link) int {
+	fp := len(f.ports)
+	f.ports = append(f.ports, &elecPort{link: link})
+	f.byNode[node] = fp
+	return fp
+}
+
+func (f *ElectricalFabric) queueCap() int64 {
+	if f.QueueCapBytes > 0 {
+		return f.QueueCapBytes
+	}
+	return 16 << 20
+}
+
+// Receive implements Device: route by destination node, enqueue, drain.
+func (f *ElectricalFabric) Receive(pkt *core.Packet, port core.PortID) {
+	fp, ok := f.byNode[pkt.DstNode]
+	if !ok {
+		f.DropsNoRoute++
+		return
+	}
+	p := f.ports[fp]
+	f.eng.After(f.PipelineDelay, func() {
+		// Drop-tail decision at enqueue time, after the pipeline.
+		if p.bytes+int64(pkt.Size) > f.queueCap() {
+			f.DropsQueue++
+			return
+		}
+		p.fifo = append(p.fifo, pkt)
+		p.bytes += int64(pkt.Size)
+		if p.bytes > p.maxSeen {
+			p.maxSeen = p.bytes
+		}
+		f.drain(p)
+	})
+}
+
+// drain pulls packets from the port queue at line rate.
+func (f *ElectricalFabric) drain(p *elecPort) {
+	if p.busy || len(p.fifo) == 0 {
+		return
+	}
+	p.busy = true
+	pkt := p.fifo[0]
+	p.fifo = p.fifo[1:]
+	p.bytes -= int64(pkt.Size)
+	ser := p.link.SerializationDelay(pkt.Size)
+	p.link.Send(f, pkt)
+	f.Forwarded++
+	f.eng.After(ser, func() {
+		p.busy = false
+		f.drain(p)
+	})
+}
+
+// MaxQueueBytes returns the high-water mark of the port serving node.
+func (f *ElectricalFabric) MaxQueueBytes(node core.NodeID) int64 {
+	if fp, ok := f.byNode[node]; ok {
+		return f.ports[fp].maxSeen
+	}
+	return 0
+}

@@ -1,0 +1,183 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"openoptics/internal/controller"
+	"openoptics/internal/core"
+	"openoptics/internal/sim"
+)
+
+// OpticalFabric is the emulated optical network fabric (§5.3): it abstracts
+// an arbitrary OCS structure as one logical OCS with time-based
+// connectivity. Circuit on/offs are realized as a per-slice lookup table —
+// packets over live circuits are forwarded cut-through; packets over
+// disconnected circuits match no entry and are dropped, exactly as in the
+// paper's P4 realization. The reconfiguration period at the head of every
+// slice is a guardband during which all affected packets are dropped.
+//
+// A real OCS is bufferless, so the fabric performs no queueing; endpoint
+// devices own all buffering, which is what the calendar-queue system is
+// for.
+type OpticalFabric struct {
+	eng   *sim.Engine
+	sched *core.Schedule
+
+	ports    []*Link
+	attached map[attachKey]int
+
+	conn       []map[int]int // per-slice port connection table
+	staticConn map[int]int   // wildcard-slice (TA) connections
+
+	// CutThroughDelay models the emulating device's cut-through
+	// forwarding latency.
+	CutThroughDelay int64
+	// Guard is the reconfiguration guardband at the start of each slice;
+	// packets arriving within it are dropped.
+	Guard int64
+	// ClockOffset shifts this fabric's view of the slice clock, modeling
+	// synchronization error against the optical controller.
+	ClockOffset int64
+	// ReconfDelay is the device-class circuit re-setup time applied when
+	// a *static* (TA) topology is re-deployed mid-run: packets entering
+	// during the blackout drop, as on a real MEMS switch.
+	ReconfDelay int64
+	blockUntil  int64
+
+	// Drop counters.
+	DropsGuard     uint64
+	DropsNoCircuit uint64
+	Forwarded      uint64
+}
+
+type attachKey struct {
+	node core.NodeID
+	port core.PortID
+}
+
+// NewOpticalFabric creates an unattached fabric. Attach endpoints, then
+// ApplySchedule (or ApplyProgram) before traffic flows.
+func NewOpticalFabric(eng *sim.Engine) *OpticalFabric {
+	return &OpticalFabric{eng: eng, attached: make(map[attachKey]int), staticConn: make(map[int]int)}
+}
+
+// Attach plugs the optical uplink (node, nodePort) into the next free
+// fabric port and returns the fabric port index. The link must have the
+// fabric as one endpoint with this port index.
+func (f *OpticalFabric) Attach(node core.NodeID, nodePort core.PortID, link *Link) int {
+	fp := len(f.ports)
+	f.ports = append(f.ports, link)
+	f.attached[attachKey{node, nodePort}] = fp
+	return fp
+}
+
+// PortOf returns the fabric port a node uplink is attached to.
+func (f *OpticalFabric) PortOf(node core.NodeID, nodePort core.PortID) (int, bool) {
+	fp, ok := f.attached[attachKey{node, nodePort}]
+	return fp, ok
+}
+
+// ApplySchedule programs the fabric's lookup table from node-level
+// circuits. Every circuit endpoint must already be attached.
+func (f *OpticalFabric) ApplySchedule(sched *core.Schedule) error {
+	if err := sched.Validate(); err != nil {
+		return fmt.Errorf("fabric: %w", err)
+	}
+	ns := sched.NumSlices
+	if ns < 1 {
+		ns = 1
+	}
+	conn := make([]map[int]int, ns)
+	for i := range conn {
+		conn[i] = make(map[int]int)
+	}
+	static := make(map[int]int)
+	for _, c := range sched.Circuits {
+		pa, okA := f.attached[attachKey{c.A, c.PortA}]
+		pb, okB := f.attached[attachKey{c.B, c.PortB}]
+		if !okA || !okB {
+			return fmt.Errorf("fabric: circuit %v references unattached endpoint", c)
+		}
+		if c.Slice.IsWildcard() {
+			static[pa], static[pb] = pb, pa
+			continue
+		}
+		m := conn[int(c.Slice)%ns]
+		m[pa], m[pb] = pb, pa
+	}
+	// A TA re-deployment on a live fabric tears circuits down and sets
+	// new ones up; the device is dark for its reconfiguration delay.
+	if f.sched != nil && sched.NumSlices <= 1 && f.ReconfDelay > 0 && f.eng.Now() > 0 {
+		f.blockUntil = f.eng.Now() + f.ReconfDelay
+	}
+	f.sched = sched
+	f.conn = conn
+	f.staticConn = static
+	return nil
+}
+
+// ApplyProgram programs the fabric from a compiled OCS program, flattening
+// the per-OCS connections onto the logical fabric using the inverse of
+// controller.CompileTopo's wiring convention (OCS port = node × uplinks-
+// per-OCS + local slot).
+func (f *OpticalFabric) ApplyProgram(prog *controller.OCSProgram, sliceDur, guard int64, numSlices int) error {
+	st := prog.Structure
+	per := st.UplinksPerNode
+	if per <= 0 {
+		per = st.Count
+	}
+	per = (per + st.Count - 1) / st.Count
+	back := func(ocs, port int) (core.NodeID, core.PortID) {
+		return core.NodeID(port / per), core.PortID((port%per)*st.Count + ocs)
+	}
+	circuits := make([]core.Circuit, 0, len(prog.Connections))
+	for _, cn := range prog.Connections {
+		na, pa := back(cn.OCS, cn.InPort)
+		nb, pb := back(cn.OCS, cn.OutPort)
+		circuits = append(circuits, core.Circuit{
+			A: na, PortA: pa, B: nb, PortB: pb, Slice: cn.Slice,
+		})
+	}
+	sched := &core.Schedule{NumSlices: numSlices, SliceDuration: time.Duration(sliceDur),
+		Guard: time.Duration(guard), Circuits: circuits}
+	return f.ApplySchedule(sched)
+}
+
+// Receive implements Device: the fabric consults its lookup table for the
+// current slice and forwards cut-through, or drops.
+func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
+	if f.sched == nil {
+		f.DropsNoCircuit++
+		return
+	}
+	if f.blockUntil > 0 && f.eng.Now() < f.blockUntil {
+		f.DropsGuard++ // reconfiguration blackout
+		return
+	}
+	now := f.eng.Now() + f.ClockOffset
+	ts := f.sched.SliceAt(now)
+	// Guardband: reconfiguration window at the head of the slice.
+	guard := f.Guard
+	if guard == 0 {
+		guard = int64(f.sched.Guard)
+	}
+	if guard > 0 && f.sched.NumSlices > 1 {
+		sliceStart := now - now%int64(f.sched.SliceDuration)
+		if now-sliceStart < guard {
+			f.DropsGuard++
+			return
+		}
+	}
+	out, ok := f.conn[int(ts)%len(f.conn)][int(port)]
+	if !ok {
+		out, ok = f.staticConn[int(port)]
+	}
+	if !ok {
+		f.DropsNoCircuit++
+		return
+	}
+	link := f.ports[out]
+	f.Forwarded++
+	f.eng.After(f.CutThroughDelay, func() { link.SendCutThrough(f, pkt) })
+}

@@ -1,0 +1,287 @@
+// Package routing implements the routing side of the OpenOptics user API
+// (Table 1): the abstract routing() function materialized as TA algorithms
+// that run within one topology instance (direct-circuit, ECMP, WCMP,
+// k-shortest-path) and TO algorithms that run across time slices (VLB,
+// Opera, UCMP, HOHO), plus the neighbors() and earliest_path() helpers.
+//
+// TO algorithms search a time-expanded graph: states are (node, absolute
+// slice) pairs; a packet either waits at a node for the next slice or
+// traverses a circuit available in the current slice. Paths come back as
+// core.Path values ready for the controller to compile into time-flow
+// table entries.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"openoptics/internal/core"
+)
+
+// Options tunes the path searches.
+type Options struct {
+	// MaxHop bounds the number of circuit traversals per path (the
+	// max_hop argument of earliest_path in Table 1). 0 means 4.
+	MaxHop int
+	// MaxHopsPerSlice bounds in-slice chaining (Opera-style multi-hop
+	// within one slice). 0 means unlimited (up to MaxHop).
+	MaxHopsPerSlice int
+	// MaxPaths bounds how many equal-cost paths multipath algorithms
+	// return per (src, dst, ts). 0 means 8.
+	MaxPaths int
+	// Horizon bounds the search in slices. 0 means two optical cycles.
+	Horizon int
+}
+
+func (o Options) maxHop() int {
+	if o.MaxHop <= 0 {
+		return 4
+	}
+	return o.MaxHop
+}
+
+func (o Options) maxPaths() int {
+	if o.MaxPaths <= 0 {
+		return 8
+	}
+	return o.MaxPaths
+}
+
+func (o Options) horizon(numSlices int) int {
+	if o.Horizon > 0 {
+		return o.Horizon
+	}
+	h := 2 * numSlices
+	if h < 2 {
+		h = 2
+	}
+	return h
+}
+
+func (o Options) maxHopsPerSlice() int {
+	if o.MaxHopsPerSlice <= 0 {
+		return 1 << 30
+	}
+	return o.MaxHopsPerSlice
+}
+
+// teState is a node at an absolute slice offset from the packet's arrival.
+type teState struct {
+	node core.NodeID
+	off  int32 // slices waited since arrival (absolute, not modulo)
+}
+
+type teCost struct {
+	off  int32 // delivery offset — primary cost (waiting is the dominant delay)
+	hops int32 // circuit traversals — secondary cost
+}
+
+func (c teCost) less(d teCost) bool {
+	if c.off != d.off {
+		return c.off < d.off
+	}
+	return c.hops < d.hops
+}
+
+type teItem struct {
+	st   teState
+	cost teCost
+	idx  int
+}
+
+type teQueue []*teItem
+
+func (q teQueue) Len() int           { return len(q) }
+func (q teQueue) Less(i, j int) bool { return q[i].cost.less(q[j].cost) }
+func (q teQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].idx = i; q[j].idx = j }
+func (q *teQueue) Push(x any)        { it := x.(*teItem); it.idx = len(*q); *q = append(*q, it) }
+func (q *teQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+func (q teQueue) top() *teItem { return q[0] }
+
+var _ heap.Interface = (*teQueue)(nil)
+
+// pred records how a state was reached, for path reconstruction. A state
+// may keep several equal-cost predecessors (UCMP needs them all).
+type pred struct {
+	from   teState
+	egress core.PortID // valid for hop edges; NoPort for wait edges
+}
+
+// teSearch runs a Dijkstra over the time-expanded graph from (src, ts)
+// and returns, for every reachable state, its best cost and the equal-cost
+// predecessor set.
+func teSearch(ix *core.ConnIndex, src core.NodeID, ts core.Slice, opt Options) (map[teState]teCost, map[teState][]pred) {
+	numSlices := ix.NumSlices()
+	horizon := int32(opt.horizon(numSlices))
+	maxHop := int32(opt.maxHop())
+	maxPerSlice := opt.maxHopsPerSlice()
+
+	dist := make(map[teState]teCost)
+	preds := make(map[teState][]pred)
+	hopsInSlice := make(map[teState]int)
+
+	start := teState{node: src, off: 0}
+	dist[start] = teCost{}
+	pq := &teQueue{}
+	heap.Push(pq, &teItem{st: start, cost: teCost{}})
+	done := make(map[teState]bool)
+
+	relax := func(to teState, c teCost, p pred, inSlice int) {
+		cur, seen := dist[to]
+		switch {
+		case !seen || c.less(cur):
+			dist[to] = c
+			preds[to] = []pred{p}
+			hopsInSlice[to] = inSlice
+			heap.Push(pq, &teItem{st: to, cost: c})
+		case !cur.less(c): // equal cost: extra predecessor
+			preds[to] = append(preds[to], p)
+		}
+	}
+
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(*teItem)
+		st, c := it.st, it.cost
+		if done[st] || c != dist[st] {
+			continue
+		}
+		done[st] = true
+		// Wait edge: stay put until the next slice.
+		if st.off+1 < horizon {
+			relax(teState{node: st.node, off: st.off + 1},
+				teCost{off: c.off + 1, hops: c.hops},
+				pred{from: st, egress: core.NoPort}, 0)
+		}
+		// Hop edges: traverse a circuit live in the current slice.
+		if c.hops >= maxHop || hopsInSlice[st] >= maxPerSlice {
+			continue
+		}
+		cur := core.Slice((int32(ts) + st.off) % int32(numSlices))
+		for _, cc := range ix.Circuits(st.node, cur) {
+			peer, _, ok := cc.Other(st.node)
+			if !ok {
+				continue
+			}
+			egress, _ := cc.LocalPort(st.node)
+			relax(teState{node: peer, off: st.off},
+				teCost{off: c.off, hops: c.hops + 1},
+				pred{from: st, egress: egress}, hopsInSlice[st]+1)
+		}
+	}
+	return dist, preds
+}
+
+// reconstruct enumerates up to maxPaths equal-cost paths from the search
+// predecessor structure, ending at any state (dst, off) whose cost equals
+// best. Paths are returned with hop departure slices in schedule-modulo
+// form, ready for table compilation.
+func reconstruct(ix *core.ConnIndex, src, dst core.NodeID, ts core.Slice,
+	dist map[teState]teCost, preds map[teState][]pred, goal teState, maxPaths int) []core.Path {
+
+	numSlices := int32(ix.NumSlices())
+	var out []core.Path
+	type frame struct {
+		st   teState
+		hops []core.Hop // reversed (dst-side first)
+	}
+	stack := []frame{{st: goal}}
+	for len(stack) > 0 && len(out) < maxPaths {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.st == (teState{node: src, off: 0}) {
+			// Materialize: reverse hops.
+			hops := make([]core.Hop, len(f.hops))
+			for i := range f.hops {
+				hops[i] = f.hops[len(f.hops)-1-i]
+			}
+			out = append(out, core.Path{Src: src, Dst: dst, TS: ts, Hops: hops, Weight: 1})
+			continue
+		}
+		for _, p := range preds[f.st] {
+			if p.egress == core.NoPort {
+				// wait edge: no hop recorded
+				stack = append(stack, frame{st: p.from, hops: f.hops})
+				continue
+			}
+			dep := core.Slice((int32(ts) + p.from.off) % numSlices)
+			h := core.Hop{Node: p.from.node, Egress: p.egress, DepSlice: dep}
+			nh := make([]core.Hop, len(f.hops)+1)
+			copy(nh, f.hops)
+			nh[len(f.hops)] = h
+			stack = append(stack, frame{st: p.from, hops: nh})
+		}
+	}
+	return out
+}
+
+// EarliestPaths implements the earliest_path() helper (Table 1): the
+// minimal-delivery-time paths from src to dst for a packet arriving at src
+// in slice ts, within maxHop circuit traversals. It returns up to
+// opt.MaxPaths equal-cost paths; nil if dst is unreachable in the horizon.
+func EarliestPaths(ix *core.ConnIndex, src, dst core.NodeID, ts core.Slice, opt Options) []core.Path {
+	if src == dst {
+		return nil
+	}
+	dist, preds := teSearch(ix, src, ts, opt)
+	// Find the best (dst, off) state.
+	best := teCost{off: 1 << 30}
+	var goal teState
+	found := false
+	for st, c := range dist {
+		if st.node != dst {
+			continue
+		}
+		if !found || c.less(best) {
+			best, goal, found = c, st, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	paths := reconstruct(ix, src, dst, ts, dist, preds, goal, opt.maxPaths())
+	sortPaths(paths)
+	return paths
+}
+
+// Neighbors re-exports the neighbors() helper for API symmetry.
+func Neighbors(ix *core.ConnIndex, n core.NodeID, ts core.Slice) []core.NodeID {
+	return ix.Neighbors(n, ts)
+}
+
+// sortPaths orders paths deterministically (by hop sequence) so compiled
+// tables are stable across runs.
+func sortPaths(paths []core.Path) {
+	sort.Slice(paths, func(i, j int) bool { return pathKey(&paths[i]) < pathKey(&paths[j]) })
+}
+
+func pathKey(p *core.Path) string {
+	s := fmt.Sprintf("%d|%d|%d|", p.Src, p.Dst, p.TS)
+	for _, h := range p.Hops {
+		s += fmt.Sprintf("%d,%d,%d;", h.Node, h.Egress, h.DepSlice)
+	}
+	return s
+}
+
+// AllPairs invokes gen for every ordered node pair in ix and collects the
+// produced paths — the shape shared by every routing() materialization.
+func AllPairs(ix *core.ConnIndex, gen func(src, dst core.NodeID) []core.Path) []core.Path {
+	nodes := ix.Nodes()
+	var out []core.Path
+	for _, s := range nodes {
+		for _, d := range nodes {
+			if s == d {
+				continue
+			}
+			out = append(out, gen(s, d)...)
+		}
+	}
+	return out
+}

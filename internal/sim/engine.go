@@ -1,0 +1,144 @@
+// Package sim provides the discrete-event simulation substrate OpenOptics
+// runs on when no physical Tofino/OCS hardware is available: a
+// nanosecond-resolution virtual clock, an event heap, and deterministic
+// random number generation. All devices (switches, hosts, fabrics) execute
+// on one Engine, which serializes their event handlers — device state needs
+// no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event simulator. Events scheduled
+// for the same instant fire in scheduling order (stable), which keeps runs
+// bit-for-bit reproducible.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	halted bool
+	// Processed counts executed events (diagnostics).
+	Processed uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in nanoseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past is an
+// error in device logic; it is clamped to "now" to keep the run going but
+// flagged via panic in race-free code paths during testing.
+func (e *Engine) At(t int64, fn func()) {
+	if fn == nil {
+		panic("sim: nil event fn")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d int64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// AfterDur schedules fn to run after a time.Duration.
+func (e *Engine) AfterDur(d time.Duration, fn func()) { e.After(int64(d), fn) }
+
+// Every schedules fn at start and then every interval nanoseconds until fn
+// returns false or the engine halts. It models periodic device machinery —
+// the on-chip packet generator, traffic collection, flow aging scans.
+func (e *Engine) Every(start, interval int64, fn func() bool) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
+	}
+	var tick func()
+	next := start
+	tick = func() {
+		if e.halted {
+			return
+		}
+		if !fn() {
+			return
+		}
+		next += interval
+		e.At(next, tick)
+	}
+	e.At(start, tick)
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (e *Engine) Run() {
+	e.RunUntil(math.MaxInt64)
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock finishes
+// at the last executed event's time (or deadline if events remain).
+func (e *Engine) RunUntil(deadline int64) {
+	e.halted = false
+	for len(e.events) > 0 && !e.halted {
+		ev := e.events[0]
+		if ev.t > deadline {
+			e.now = deadline
+			return
+		}
+		heap.Pop(&e.events)
+		e.now = ev.t
+		e.Processed++
+		ev.fn()
+	}
+	// The queue drained (or halted): virtual time still passes to the
+	// deadline so callers observe a consistent clock.
+	if !e.halted && deadline != math.MaxInt64 && deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d nanoseconds of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + int64(d)) }
+
+// Halt stops Run after the current event handler returns. Pending events
+// remain queued; Run may be called again to resume.
+func (e *Engine) Halt() { e.halted = true }
+
+// Pending returns the number of queued events (diagnostics only).
+func (e *Engine) Pending() int { return len(e.events) }
+
+type event struct {
+	t   int64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,58 @@
+package switchsim
+
+import (
+	"openoptics/internal/core"
+	"openoptics/internal/sim"
+)
+
+// ControlPlane is the out-of-band management network joining the optical
+// controller and the switches — the channel over which push-back messages
+// travel to sender switches and traffic reports reach the controller. It
+// models a dedicated low-rate control network with a fixed one-way delay.
+type ControlPlane struct {
+	eng *sim.Engine
+	// Delay is the one-way message delay in ns (default 2 µs).
+	Delay int64
+
+	handlers map[core.NodeID]func(*core.Packet)
+	// ControllerIn, when set, receives messages addressed to NoNode (the
+	// optical controller's address).
+	ControllerIn func(*core.Packet)
+
+	Sent    uint64
+	Dropped uint64
+}
+
+// NewControlPlane creates a control plane on the engine.
+func NewControlPlane(eng *sim.Engine) *ControlPlane {
+	return &ControlPlane{eng: eng, handlers: make(map[core.NodeID]func(*core.Packet))}
+}
+
+func (cp *ControlPlane) delay() int64 {
+	if cp.Delay <= 0 {
+		return 2000
+	}
+	return cp.Delay
+}
+
+// Register subscribes a node's control-message handler.
+func (cp *ControlPlane) Register(id core.NodeID, fn func(*core.Packet)) {
+	cp.handlers[id] = fn
+}
+
+// SendTo delivers a control message to node id (NoNode = the controller)
+// after the control-network delay.
+func (cp *ControlPlane) SendTo(id core.NodeID, pkt *core.Packet) {
+	var fn func(*core.Packet)
+	if id == core.NoNode {
+		fn = cp.ControllerIn
+	} else {
+		fn = cp.handlers[id]
+	}
+	if fn == nil {
+		cp.Dropped++
+		return
+	}
+	cp.Sent++
+	cp.eng.After(cp.delay(), func() { fn(pkt) })
+}

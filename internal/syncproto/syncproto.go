@@ -1,0 +1,75 @@
+// Package syncproto models the hardware-independent nanosecond time
+// synchronization OpenOptics relies on (the companion OpSync work). The
+// framework only consumes the synchronization *error bound*: every device
+// clock may deviate from the optical controller's clock by at most
+// ±ErrorBound, and the slice guardband must absorb twice that bound (§7).
+// The model hands out deterministic per-device offsets within the bound
+// and computes the guardband budget of the minimum-slice analysis.
+package syncproto
+
+import "openoptics/internal/sim"
+
+// ReferenceErrorNs is the measured worst-case sync error in the paper's
+// 192-ToR deployment: 28 ns.
+const ReferenceErrorNs = 28
+
+// ReferenceToRs is the deployment size at which ReferenceErrorNs holds.
+const ReferenceToRs = 192
+
+// Model assigns bounded clock offsets to devices.
+type Model struct {
+	// BoundNs is the maximum absolute clock error per device.
+	BoundNs int64
+	rng     *sim.Rand
+}
+
+// NewModel creates a sync model with the given error bound (0 = the paper
+// reference bound) and seed.
+func NewModel(boundNs int64, seed uint64) *Model {
+	if boundNs < 0 {
+		boundNs = 0
+	}
+	if boundNs == 0 {
+		boundNs = ReferenceErrorNs
+	}
+	return &Model{BoundNs: boundNs, rng: sim.NewRand(seed ^ 0x0c10c)}
+}
+
+// OffsetFor returns device id's clock offset, uniform in [-Bound, +Bound],
+// deterministic per (seed, id).
+func (m *Model) OffsetFor(id uint64) int64 {
+	r := m.rng.Fork(id)
+	span := uint64(2*m.BoundNs + 1)
+	return int64(r.Uint64()%span) - m.BoundNs
+}
+
+// GuardbandBudget reproduces the §7 minimum-slice derivation: the
+// guardband must cover the queue-rotation delay variance across packet
+// sizes, the EQO estimation error converted to time at line rate, and
+// twice the synchronization error (clock above and below truth).
+type GuardbandBudget struct {
+	RotationVarNs int64 // Fig. 11: max-min switch-to-switch delay
+	EQOErrorNs    int64 // Fig. 12 error bytes at line rate
+	SyncNs        int64 // 2 × sync bound
+	TotalNs       int64 // sum
+	GuardNs       int64 // total rounded up with headroom
+	MinSliceNs    int64 // guard × 10 (>= 90% duty cycle)
+}
+
+// Budget computes the guardband budget from measured components.
+// eqoErrorBytes converts to time at lineRateBps. headroomNs is added slack
+// (the paper uses 200-148 = 52 ns).
+func Budget(rotationVarNs int64, eqoErrorBytes int64, lineRateBps int64, syncBoundNs int64, headroomNs int64) GuardbandBudget {
+	eqoNs := eqoErrorBytes * 8 * 1e9 / lineRateBps
+	sync := 2 * syncBoundNs
+	total := rotationVarNs + eqoNs + sync
+	guard := total + headroomNs
+	return GuardbandBudget{
+		RotationVarNs: rotationVarNs,
+		EQOErrorNs:    eqoNs,
+		SyncNs:        sync,
+		TotalNs:       total,
+		GuardNs:       guard,
+		MinSliceNs:    guard * 10,
+	}
+}

@@ -1,0 +1,84 @@
+package syncproto
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOffsetsBounded(t *testing.T) {
+	m := NewModel(28, 7)
+	seen := make(map[int64]bool)
+	for id := uint64(0); id < 1000; id++ {
+		off := m.OffsetFor(id)
+		if off < -28 || off > 28 {
+			t.Fatalf("offset %d out of ±28", off)
+		}
+		seen[off] = true
+	}
+	if len(seen) < 20 {
+		t.Fatalf("offsets poorly spread: %d distinct values", len(seen))
+	}
+}
+
+func TestOffsetsDeterministic(t *testing.T) {
+	a, b := NewModel(28, 7), NewModel(28, 7)
+	for id := uint64(0); id < 100; id++ {
+		if a.OffsetFor(id) != b.OffsetFor(id) {
+			t.Fatal("same seed+id gave different offsets")
+		}
+	}
+	c := NewModel(28, 8)
+	diff := 0
+	for id := uint64(0); id < 100; id++ {
+		if a.OffsetFor(id) != c.OffsetFor(id) {
+			diff++
+		}
+	}
+	if diff < 50 {
+		t.Fatal("different seeds barely change offsets")
+	}
+}
+
+func TestModelDefaults(t *testing.T) {
+	m := NewModel(0, 1)
+	if m.BoundNs != ReferenceErrorNs {
+		t.Fatalf("default bound = %d, want %d", m.BoundNs, ReferenceErrorNs)
+	}
+	n := NewModel(-5, 1)
+	if n.BoundNs != ReferenceErrorNs {
+		t.Fatalf("negative bound = %d", n.BoundNs)
+	}
+}
+
+func TestBudgetPaperNumbers(t *testing.T) {
+	// §7: 34 ns rotation variance + 725 B at 100 Gbps (58 ns) + 2 x 28 ns
+	// = 148 ns; guard 200 ns; min slice 2 µs.
+	b := Budget(34, 725, 100e9, 28, 52)
+	if b.EQOErrorNs != 58 {
+		t.Errorf("EQO ns = %d, want 58", b.EQOErrorNs)
+	}
+	if b.SyncNs != 56 {
+		t.Errorf("sync ns = %d, want 56", b.SyncNs)
+	}
+	if b.TotalNs != 148 {
+		t.Errorf("total = %d, want 148", b.TotalNs)
+	}
+	if b.GuardNs != 200 {
+		t.Errorf("guard = %d, want 200", b.GuardNs)
+	}
+	if b.MinSliceNs != 2000 {
+		t.Errorf("min slice = %d, want 2000", b.MinSliceNs)
+	}
+}
+
+// Property: the budget is monotone in each component.
+func TestBudgetMonotoneProperty(t *testing.T) {
+	f := func(rot, eqo, sync uint16) bool {
+		base := Budget(int64(rot), int64(eqo), 100e9, int64(sync), 0)
+		more := Budget(int64(rot)+10, int64(eqo), 100e9, int64(sync), 0)
+		return more.GuardNs > base.GuardNs && more.MinSliceNs == more.GuardNs*10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

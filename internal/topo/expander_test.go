@@ -1,0 +1,94 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"openoptics/internal/core"
+)
+
+func TestAnalyzeSlicesRotor(t *testing.T) {
+	// Single-uplink rotor: every slice is a perfect matching — 1-regular
+	// and disconnected (n/2 components) for n > 2.
+	circuits, ns, err := RoundRobin(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &core.Schedule{NumSlices: ns, SliceDuration: time.Microsecond, Circuits: circuits}
+	for _, sg := range AnalyzeSlices(sched) {
+		if sg.MinDegree != 1 || sg.MaxDegree != 1 {
+			t.Fatalf("slice %d degrees %d..%d, want 1-regular", sg.Slice, sg.MinDegree, sg.MaxDegree)
+		}
+		if sg.Connected {
+			t.Fatalf("slice %d of a matching schedule cannot be connected", sg.Slice)
+		}
+		if sg.Edges != 4 {
+			t.Fatalf("slice %d has %d edges, want 4", sg.Slice, sg.Edges)
+		}
+	}
+	if AllSlicesConnected(sched) {
+		t.Fatal("AllSlicesConnected true for matchings")
+	}
+}
+
+func TestAnalyzeSlicesOpera(t *testing.T) {
+	// Opera-style: k=3 uplinks on 8 nodes — union of 3 matchings per
+	// slice is 3-regular and (for the circle-method unions) connected.
+	circuits, ns, err := RoundRobin(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &core.Schedule{NumSlices: ns, SliceDuration: time.Microsecond, Circuits: circuits}
+	connected := 0
+	for _, sg := range AnalyzeSlices(sched) {
+		if sg.MaxDegree != 3 {
+			t.Fatalf("slice %d max degree %d, want 3", sg.Slice, sg.MaxDegree)
+		}
+		if sg.Connected {
+			connected++
+			if sg.Diameter < 1 || sg.Diameter > 4 {
+				t.Fatalf("slice %d diameter %d implausible for an 8-node 3-regular graph",
+					sg.Slice, sg.Diameter)
+			}
+		}
+	}
+	if connected == 0 {
+		t.Fatal("no connected slice in a 3-uplink schedule")
+	}
+}
+
+func TestTemporalReach(t *testing.T) {
+	circuits, ns, err := RoundRobin(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &core.Schedule{NumSlices: ns, SliceDuration: time.Microsecond, Circuits: circuits}
+	// Store-and-forward flooding doubles the reached set roughly every
+	// slice: full reach in about log2(n) slices, well within a cycle.
+	got := TemporalReach(sched, 0, 0, 1)
+	if got < 3 || got > ns {
+		t.Fatalf("temporal reach = %d slices, want [3, %d]", got, ns)
+	}
+	// A schedule that never joins its two components cannot reach.
+	split := &core.Schedule{NumSlices: 2, SliceDuration: time.Microsecond, Circuits: []core.Circuit{
+		{A: 0, PortA: 0, B: 1, PortB: 0, Slice: 0},
+		{A: 2, PortA: 0, B: 3, PortB: 0, Slice: 1},
+	}}
+	if got := TemporalReach(split, 0, 0, 1); got != -1 {
+		t.Fatalf("unreachable schedule reported reach %d", got)
+	}
+}
+
+func TestTemporalReachExpander(t *testing.T) {
+	// 3 uplinks: in-slice multi-hop reaches everyone within the first
+	// slice or two, far faster than the direct cycle.
+	circuits, ns, err := RoundRobin(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := &core.Schedule{NumSlices: ns, SliceDuration: time.Microsecond, Circuits: circuits}
+	got := TemporalReach(sched, 0, 0, 4)
+	if got < 1 || got > 2 {
+		t.Fatalf("expander temporal reach = %d slices, want 1-2", got)
+	}
+}

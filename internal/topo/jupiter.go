@@ -1,0 +1,101 @@
+package topo
+
+import (
+	"fmt"
+
+	"openoptics/internal/core"
+)
+
+// Jupiter materializes topo() for Jupiter-style gradual topology evolution
+// (JupiterEvolving): given the latest traffic matrix and the currently
+// deployed topology, it computes the traffic-optimal target topology
+// (Edmonds rounds over the TM) and moves toward it while retaining every
+// circuit the two have in common — the "gradual evolving" behaviour that
+// lets traffic drain before links are rewired. maxMoves bounds how many
+// circuits may change per invocation (<= 0 means unlimited).
+//
+// With tm == nil (or empty) and prev == nil it returns the uniform starting
+// mesh — the cold-start case in the Fig. 5 (b) program.
+func Jupiter(tm core.TM, prev []core.Circuit, n, uplink, maxMoves int) ([]core.Circuit, error) {
+	if n < 2 || uplink < 1 {
+		return nil, fmt.Errorf("topo: jupiter needs n>=2, uplink>=1 (n=%d uplink=%d)", n, uplink)
+	}
+	if tm.N() == 0 || tm.Total() == 0 {
+		if prev != nil {
+			return prev, nil // nothing to adapt to
+		}
+		return UniformMesh(n, uplink)
+	}
+	if tm.N() != n {
+		return nil, fmt.Errorf("topo: jupiter TM is %d nodes, want %d", tm.N(), n)
+	}
+	target, err := Edmonds(tm, uplink)
+	if err != nil {
+		return nil, err
+	}
+	if prev == nil {
+		return target, nil
+	}
+	// Retain common circuits (ignoring port assignment), then adopt target
+	// circuits up to the move budget and per-node port capacity.
+	type pairKey struct{ a, b core.NodeID }
+	keyOf := func(c core.Circuit) pairKey {
+		c = c.Canon()
+		return pairKey{c.A, c.B}
+	}
+	inTarget := make(map[pairKey]bool, len(target))
+	for _, c := range target {
+		inTarget[keyOf(c)] = true
+	}
+	portUsed := make(map[core.NodeID]int, n)
+	var out []core.Circuit
+	kept := make(map[pairKey]bool)
+	place := func(a, b core.NodeID) bool {
+		if portUsed[a] >= uplink || portUsed[b] >= uplink {
+			return false
+		}
+		out = append(out, core.Circuit{
+			A: a, PortA: core.PortID(portUsed[a]),
+			B: b, PortB: core.PortID(portUsed[b]),
+			Slice: core.WildcardSlice,
+		})
+		portUsed[a]++
+		portUsed[b]++
+		return true
+	}
+	for _, c := range prev {
+		k := keyOf(c)
+		if inTarget[k] && !kept[k] {
+			if place(c.Canon().A, c.Canon().B) {
+				kept[k] = true
+			}
+		}
+	}
+	moves := 0
+	for _, c := range target {
+		k := keyOf(c)
+		if kept[k] {
+			continue
+		}
+		if maxMoves > 0 && moves >= maxMoves {
+			break
+		}
+		if place(c.Canon().A, c.Canon().B) {
+			kept[k] = true
+			moves++
+		}
+	}
+	// Backfill remaining port capacity with previous circuits that were
+	// dropped from the target only by the move budget, keeping the network
+	// connected during evolution.
+	for _, c := range prev {
+		k := keyOf(c)
+		if kept[k] {
+			continue
+		}
+		if place(c.Canon().A, c.Canon().B) {
+			kept[k] = true
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+// Package topo implements the topology side of the OpenOptics user API
+// (Table 1): the connect() primitive and the topo(TM) materializations —
+// round-robin optical schedules for traffic-oblivious architectures
+// (RotorNet, Opera, Shale) and traffic-aware circuit scheduling (Edmonds
+// matching for c-Through, Birkhoff–von-Neumann for Mordia, gradual
+// evolution for Jupiter, and the SORN skewed round-robin hybrid).
+//
+// All functions return plain []core.Circuit; feasibility checking and
+// deployment belong to the controller.
+package topo
+
+import (
+	"fmt"
+
+	"openoptics/internal/core"
+)
+
+// Connect is the primitive call connect() (Table 1): one circuit between
+// port pa of node a and port pb of node b during slice ts. It is the
+// building block custom topo() overrides compose.
+func Connect(a core.NodeID, pa core.PortID, b core.NodeID, pb core.PortID, ts core.Slice) core.Circuit {
+	return core.Circuit{A: a, PortA: pa, B: b, PortB: pb, Slice: ts}
+}
+
+// Matching is one perfect matching over nodes [0,n): Pairs[i] lists (a,b)
+// node pairs; every node appears at most once.
+type Matching struct {
+	Pairs [][2]core.NodeID
+}
+
+// CircleMatchings returns the n-1 perfect matchings of the round-robin
+// tournament ("circle method") over n nodes (n even; for odd n one node
+// sits out per round). Over the full set, every node pair meets exactly
+// once — the property rotor-style schedules rely on to diversify
+// connectivity across the optical cycle.
+func CircleMatchings(n int) []Matching {
+	if n < 2 {
+		return nil
+	}
+	m := n
+	odd := n%2 == 1
+	if odd {
+		m++ // virtual bye node m-1
+	}
+	rounds := m - 1
+	out := make([]Matching, rounds)
+	// Standard circle method: node m-1 fixed, others rotate.
+	ring := make([]int, m-1)
+	for i := range ring {
+		ring[i] = i
+	}
+	for r := 0; r < rounds; r++ {
+		var pairs [][2]core.NodeID
+		// Fixed node vs ring[r-th position].
+		a, b := m-1, ring[r%len(ring)]
+		if !odd || a < n { // skip bye pairs
+			if b < n && a < n {
+				pairs = append(pairs, [2]core.NodeID{core.NodeID(a), core.NodeID(b)})
+			}
+		}
+		for k := 1; k <= (m-2)/2; k++ {
+			i := ring[(r+k)%len(ring)]
+			j := ring[(r-k+len(ring)*2)%len(ring)]
+			if i < n && j < n {
+				pairs = append(pairs, [2]core.NodeID{core.NodeID(i), core.NodeID(j)})
+			}
+		}
+		out[r] = Matching{Pairs: pairs}
+	}
+	return out
+}
+
+// RoundRobin materializes topo() for single-dimensional TO schedules
+// (RotorNet with uplink=1..k, Opera with k uplinks). n nodes each with
+// `uplink` optical uplinks rotate through the circle-method matchings:
+// slice ts realizes matchings ts*uplink .. ts*uplink+uplink-1 (mod n-1),
+// one per uplink port. The cycle has ceil((n-1)/uplink) slices, after which
+// every node pair has had a direct circuit.
+func RoundRobin(n, uplink int) ([]core.Circuit, int, error) {
+	if n < 2 {
+		return nil, 0, fmt.Errorf("topo: round_robin needs >= 2 nodes, got %d", n)
+	}
+	if uplink < 1 {
+		return nil, 0, fmt.Errorf("topo: round_robin needs >= 1 uplink, got %d", uplink)
+	}
+	ms := CircleMatchings(n)
+	nm := len(ms)
+	if uplink > nm {
+		uplink = nm // more uplinks than matchings: cap (fully-connected each slice)
+	}
+	numSlices := (nm + uplink - 1) / uplink
+	var circuits []core.Circuit
+	for ts := 0; ts < numSlices; ts++ {
+		for u := 0; u < uplink; u++ {
+			mi := (ts*uplink + u) % nm
+			for _, pr := range ms[mi].Pairs {
+				circuits = append(circuits, core.Circuit{
+					A: pr[0], PortA: core.PortID(u),
+					B: pr[1], PortB: core.PortID(u),
+					Slice: core.Slice(ts),
+				})
+			}
+		}
+	}
+	return circuits, numSlices, nil
+}
+
+// RoundRobinDim materializes topo() for multi-dimensional TO schedules
+// (Shale's h-dimensional round-robin with a single uplink). Nodes are
+// arranged in an h-dimensional grid of side s (n must equal s^h); the
+// schedule time-multiplexes dimensions: within its turn, dimension d runs
+// circle-method matchings among the s nodes that share all other
+// coordinates. The cycle has h*(s-1) slices.
+func RoundRobinDim(n, dims, uplink int) ([]core.Circuit, int, error) {
+	if dims < 1 {
+		return nil, 0, fmt.Errorf("topo: dims must be >= 1, got %d", dims)
+	}
+	if dims == 1 {
+		return RoundRobin(n, uplink)
+	}
+	if uplink != 1 {
+		return nil, 0, fmt.Errorf("topo: multi-dimensional round_robin supports uplink=1, got %d", uplink)
+	}
+	s := intRoot(n, dims)
+	if pow(s, dims) != n {
+		return nil, 0, fmt.Errorf("topo: %d nodes do not form a %d-dimensional grid", n, dims)
+	}
+	if s < 2 {
+		return nil, 0, fmt.Errorf("topo: grid side must be >= 2 (n=%d dims=%d)", n, dims)
+	}
+	ms := CircleMatchings(s)
+	numSlices := dims * len(ms)
+	var circuits []core.Circuit
+	// coordinate helpers
+	coord := func(id, d int) int { return (id / pow(s, d)) % s }
+	withCoord := func(id, d, v int) int {
+		return id + (v-coord(id, d))*pow(s, d)
+	}
+	for ts := 0; ts < numSlices; ts++ {
+		d := ts % dims
+		mi := (ts / dims) % len(ms)
+		// Group nodes by their coordinates outside dimension d.
+		seen := make(map[int]bool, n)
+		for id := 0; id < n; id++ {
+			if seen[id] {
+				continue
+			}
+			// Collect the line through id along dimension d.
+			line := make([]int, s)
+			for v := 0; v < s; v++ {
+				nid := withCoord(id, d, v)
+				line[v] = nid
+				seen[nid] = true
+			}
+			for _, pr := range ms[mi].Pairs {
+				circuits = append(circuits, core.Circuit{
+					A: core.NodeID(line[pr[0]]), PortA: 0,
+					B: core.NodeID(line[pr[1]]), PortB: 0,
+					Slice: core.Slice(ts),
+				})
+			}
+		}
+	}
+	return circuits, numSlices, nil
+}
+
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+func intRoot(n, k int) int {
+	if n <= 0 {
+		return 0
+	}
+	lo, hi := 1, n
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		p := 1
+		over := false
+		for i := 0; i < k; i++ {
+			p *= mid
+			if p > n {
+				over = true
+				break
+			}
+		}
+		if over {
+			hi = mid - 1
+		} else {
+			lo = mid
+		}
+	}
+	return lo
+}
+
+// UniformMesh returns a static (TA) topology distributing each node's
+// `uplink` ports as evenly as possible over all other nodes — the uniform
+// starting mesh Jupiter begins from before any traffic is observed.
+func UniformMesh(n, uplink int) ([]core.Circuit, error) {
+	if n < 2 || uplink < 1 {
+		return nil, fmt.Errorf("topo: mesh needs n>=2, uplink>=1 (n=%d uplink=%d)", n, uplink)
+	}
+	ms := CircleMatchings(n)
+	if uplink > len(ms) {
+		uplink = len(ms)
+	}
+	var circuits []core.Circuit
+	for u := 0; u < uplink; u++ {
+		for _, pr := range ms[u].Pairs {
+			circuits = append(circuits, core.Circuit{
+				A: pr[0], PortA: core.PortID(u),
+				B: pr[1], PortB: core.PortID(u),
+				Slice: core.WildcardSlice,
+			})
+		}
+	}
+	return circuits, nil
+}

@@ -1,0 +1,97 @@
+package topo
+
+import (
+	"fmt"
+
+	"openoptics/internal/core"
+)
+
+// SORN materializes the semi-oblivious custom schedule of the Fig. 5 (c)
+// program: a skewed round-robin. Like a TO schedule it pre-computes a full
+// optical cycle of matchings; like a TA design the matchings are biased by
+// the observed traffic matrix, so hotspot node pairs receive direct
+// circuits in many slices while cold pairs keep only sparse coverage.
+//
+// The cycle length matches RoundRobin(n, uplink) so a SORN deployment can
+// replace a plain round-robin schedule in place. Each slice's matching is
+// the maximum-weight matching over the residual demand plus a small uniform
+// floor; served demand is decremented by the per-slice circuit capacity so
+// heavy pairs absorb several slices instead of all of them.
+func SORN(tm core.TM, n, uplink int, sliceCapacity float64) ([]core.Circuit, int, error) {
+	if n < 2 || uplink < 1 {
+		return nil, 0, fmt.Errorf("topo: sorn needs n>=2, uplink>=1 (n=%d uplink=%d)", n, uplink)
+	}
+	if tm.N() != 0 && tm.N() != n {
+		return nil, 0, fmt.Errorf("topo: sorn TM is %d nodes, want %d", tm.N(), n)
+	}
+	if tm.N() == 0 || tm.Total() == 0 {
+		// No traffic information: degenerate to the oblivious schedule.
+		return RoundRobin(n, uplink)
+	}
+	nm := n - 1
+	if n%2 == 1 {
+		nm = n
+	}
+	if uplink > nm {
+		uplink = nm
+	}
+	numSlices := (nm + uplink - 1) / uplink
+	if sliceCapacity <= 0 {
+		sliceCapacity = tm.Total() / float64(numSlices*n)
+	}
+	// Uniform floor keeps every pair reachable: a cold pair still wins a
+	// matching slot once hot pairs are satisfied.
+	floor := tm.Total() / float64(n*n*numSlices*4)
+	if floor <= 0 {
+		floor = 1e-9
+	}
+	res := tm.Clone()
+	// served[i][j] counts slices in which pair (i,j) already held a
+	// circuit; the coverage floor decays with it so cold pairs rotate
+	// through the sparse slots instead of one cold matching repeating.
+	served := make([][]int, n)
+	for i := range served {
+		served[i] = make([]int, n)
+	}
+	var circuits []core.Circuit
+	for ts := 0; ts < numSlices; ts++ {
+		for u := 0; u < uplink; u++ {
+			w := make([][]float64, n)
+			for i := range w {
+				w[i] = make([]float64, n)
+				for j := range w[i] {
+					if i == j {
+						w[i][j] = -1e18
+						continue
+					}
+					w[i][j] = res[i][j] + res[j][i] + floor/float64(1+served[i][j])
+				}
+			}
+			perm, err := MaxWeightAssignment(w)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, pr := range permToPairs(perm, w) {
+				circuits = append(circuits, core.Circuit{
+					A: pr[0], PortA: core.PortID(u),
+					B: pr[1], PortB: core.PortID(u),
+					Slice: core.Slice(ts),
+				})
+				serve(res, pr[0], pr[1], sliceCapacity)
+				served[pr[0]][pr[1]]++
+				served[pr[1]][pr[0]]++
+			}
+		}
+	}
+	return circuits, numSlices, nil
+}
+
+func serve(res core.TM, a, b core.NodeID, cap float64) {
+	for _, d := range [2][2]core.NodeID{{a, b}, {b, a}} {
+		v := res[d[0]][d[1]] - cap
+		if v < 0 {
+			v = 0
+		}
+		res[d[0]][d[1]] = v
+	}
+}

@@ -1,0 +1,484 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openoptics/internal/core"
+)
+
+func TestConnect(t *testing.T) {
+	c := Connect(1, 0, 2, 1, 3)
+	if c.A != 1 || c.B != 2 || c.PortA != 0 || c.PortB != 1 || c.Slice != 3 {
+		t.Fatalf("connect = %v", c)
+	}
+}
+
+func TestCircleMatchingsCoverAllPairsOnce(t *testing.T) {
+	for _, n := range []int{2, 4, 5, 8, 9, 16} {
+		ms := CircleMatchings(n)
+		wantRounds := n - 1
+		if n%2 == 1 {
+			wantRounds = n
+		}
+		if len(ms) != wantRounds {
+			t.Fatalf("n=%d: %d rounds, want %d", n, len(ms), wantRounds)
+		}
+		met := make(map[[2]core.NodeID]int)
+		for r, m := range ms {
+			seen := make(map[core.NodeID]bool)
+			for _, pr := range m.Pairs {
+				a, b := pr[0], pr[1]
+				if a == b {
+					t.Fatalf("n=%d round %d: self pair", n, r)
+				}
+				if seen[a] || seen[b] {
+					t.Fatalf("n=%d round %d: node repeated in matching", n, r)
+				}
+				seen[a], seen[b] = true, true
+				if a > b {
+					a, b = b, a
+				}
+				met[[2]core.NodeID{a, b}]++
+			}
+		}
+		want := n * (n - 1) / 2
+		if len(met) != want {
+			t.Fatalf("n=%d: %d pairs met, want %d", n, len(met), want)
+		}
+		for pr, c := range met {
+			if c != 1 {
+				t.Fatalf("n=%d: pair %v met %d times", n, pr, c)
+			}
+		}
+	}
+}
+
+func TestRoundRobinValidSchedule(t *testing.T) {
+	for _, tc := range []struct{ n, uplink int }{{8, 1}, {8, 2}, {16, 3}, {108, 6}, {7, 1}} {
+		circuits, numSlices, err := RoundRobin(tc.n, tc.uplink)
+		if err != nil {
+			t.Fatalf("n=%d u=%d: %v", tc.n, tc.uplink, err)
+		}
+		s := &core.Schedule{NumSlices: numSlices, SliceDuration: time.Microsecond, Circuits: circuits}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("n=%d u=%d: invalid schedule: %v", tc.n, tc.uplink, err)
+		}
+		// Over the whole cycle every pair of nodes must get >= 1 direct circuit.
+		ix := core.NewConnIndex(s)
+		for a := core.NodeID(0); int(a) < tc.n; a++ {
+			peers := make(map[core.NodeID]bool)
+			for ts := 0; ts < numSlices; ts++ {
+				for _, p := range ix.Neighbors(a, core.Slice(ts)) {
+					peers[p] = true
+				}
+			}
+			if len(peers) != tc.n-1 {
+				t.Fatalf("n=%d u=%d: node %d reaches %d peers over the cycle, want %d",
+					tc.n, tc.uplink, a, len(peers), tc.n-1)
+			}
+		}
+	}
+}
+
+func TestRoundRobinPortBudget(t *testing.T) {
+	circuits, numSlices, err := RoundRobin(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per slice, each node uses at most `uplink` ports.
+	use := make(map[[2]int]int) // (node, slice) -> count
+	for _, c := range circuits {
+		use[[2]int{int(c.A), int(c.Slice)}]++
+		use[[2]int{int(c.B), int(c.Slice)}]++
+	}
+	for k, v := range use {
+		if v > 2 {
+			t.Fatalf("node %d uses %d ports in slice %d", k[0], v, k[1])
+		}
+	}
+	if numSlices != 4 { // ceil(7/2)
+		t.Fatalf("numSlices = %d, want 4", numSlices)
+	}
+}
+
+func TestRoundRobinErrors(t *testing.T) {
+	if _, _, err := RoundRobin(1, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, _, err := RoundRobin(4, 0); err == nil {
+		t.Error("uplink=0 accepted")
+	}
+}
+
+func TestRoundRobinDim(t *testing.T) {
+	// 16 nodes = 4x4 grid, 2 dimensions, Shale-style.
+	circuits, numSlices, err := RoundRobinDim(16, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numSlices != 2*3 {
+		t.Fatalf("numSlices = %d, want 6", numSlices)
+	}
+	s := &core.Schedule{NumSlices: numSlices, SliceDuration: time.Microsecond, Circuits: circuits}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every node must reach every grid-line peer over the cycle, and the
+	// whole graph must be connected over time (2 hops suffice in a grid).
+	ix := core.NewConnIndex(s)
+	for a := core.NodeID(0); a < 16; a++ {
+		peers := make(map[core.NodeID]bool)
+		for ts := 0; ts < numSlices; ts++ {
+			for _, p := range ix.Neighbors(a, core.Slice(ts)) {
+				peers[p] = true
+			}
+		}
+		if len(peers) != 6 { // 3 peers per dimension x 2 dims
+			t.Fatalf("node %d reaches %d direct peers, want 6", a, len(peers))
+		}
+	}
+	// Bad shapes are rejected.
+	if _, _, err := RoundRobinDim(15, 2, 1); err == nil {
+		t.Error("non-square n accepted")
+	}
+	if _, _, err := RoundRobinDim(16, 2, 2); err == nil {
+		t.Error("multi-uplink multi-dim accepted")
+	}
+}
+
+func TestUniformMesh(t *testing.T) {
+	circuits, err := UniformMesh(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &core.Schedule{NumSlices: 1, Circuits: circuits}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	deg := make(map[core.NodeID]int)
+	for _, c := range circuits {
+		if !c.Slice.IsWildcard() {
+			t.Fatal("mesh circuit not static")
+		}
+		deg[c.A]++
+		deg[c.B]++
+	}
+	for n, d := range deg {
+		if d != 3 {
+			t.Fatalf("node %d degree %d, want 3", n, d)
+		}
+	}
+}
+
+func TestMaxWeightAssignment(t *testing.T) {
+	w := [][]float64{
+		{1, 9, 2},
+		{8, 3, 1},
+		{2, 2, 7},
+	}
+	p, err := MaxWeightAssignment(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 || p[1] != 0 || p[2] != 2 {
+		t.Fatalf("assignment = %v, want [1 0 2]", p)
+	}
+}
+
+// Property: the Hungarian result is a permutation and never worse than the
+// identity or a greedy assignment.
+func TestAssignmentProperty(t *testing.T) {
+	f := func(raw [16]uint8) bool {
+		n := 4
+		w := make([][]float64, n)
+		for i := range w {
+			w[i] = make([]float64, n)
+			for j := range w[i] {
+				w[i][j] = float64(raw[i*n+j])
+			}
+		}
+		p, err := MaxWeightAssignment(w)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, n)
+		var total, ident float64
+		for i, j := range p {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+			total += w[i][j]
+			ident += w[i][i]
+		}
+		return total >= ident-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdmondsPrefersHeavyPairs(t *testing.T) {
+	tm := core.NewTM(6)
+	tm.Add(0, 3, 100)
+	tm.Add(1, 4, 90)
+	tm.Add(2, 5, 80)
+	tm.Add(0, 1, 1)
+	circuits, err := Edmonds(tm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &core.Schedule{NumSlices: 1, Circuits: circuits}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ix := core.NewConnIndex(s)
+	for _, pr := range [][2]core.NodeID{{0, 3}, {1, 4}, {2, 5}} {
+		if _, ok := ix.CircuitBetween(pr[0], pr[1], core.WildcardSlice); !ok {
+			t.Fatalf("heavy pair %v not matched; circuits=%v", pr, circuits)
+		}
+	}
+}
+
+func TestEdmondsMultiRound(t *testing.T) {
+	tm := core.NewTM(4)
+	tm.Add(0, 1, 100)
+	tm.Add(2, 3, 90)
+	tm.Add(0, 2, 50)
+	tm.Add(1, 3, 40)
+	circuits, err := Edmonds(tm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &core.Schedule{NumSlices: 1, Circuits: circuits}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ix := core.NewConnIndex(s)
+	for _, pr := range [][2]core.NodeID{{0, 1}, {2, 3}, {0, 2}, {1, 3}} {
+		if _, ok := ix.CircuitBetween(pr[0], pr[1], core.WildcardSlice); !ok {
+			t.Fatalf("pair %v not served across 2 rounds; circuits=%v", pr, circuits)
+		}
+	}
+}
+
+func TestBvNDecompose(t *testing.T) {
+	tm := core.NewTM(4)
+	tm.Add(0, 1, 60)
+	tm.Add(1, 2, 30)
+	tm.Add(2, 3, 60)
+	tm.Add(3, 0, 30)
+	tm.Add(0, 2, 20)
+	terms, err := BvNDecompose(tm, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) == 0 {
+		t.Fatal("no terms")
+	}
+	var wsum float64
+	for _, tt := range terms {
+		wsum += tt.Weight
+		seen := make([]bool, 4)
+		for _, j := range tt.Perm {
+			if seen[j] {
+				t.Fatal("term not a permutation")
+			}
+			seen[j] = true
+		}
+	}
+	if wsum < 0.999 || wsum > 1.001 {
+		t.Fatalf("weights sum to %g, want 1 (full decomposition)", wsum)
+	}
+	// Terms must be sorted by weight descending.
+	for i := 1; i < len(terms); i++ {
+		if terms[i].Weight > terms[i-1].Weight+1e-12 {
+			t.Fatal("terms not sorted")
+		}
+	}
+}
+
+// Property: BvN weights always sum to <= 1+eps and each term is a valid
+// permutation, for arbitrary small demand matrices.
+func TestBvNProperty(t *testing.T) {
+	f := func(raw [16]uint8) bool {
+		n := 4
+		tm := core.NewTM(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					tm.Add(core.NodeID(i), core.NodeID(j), float64(raw[i*n+j]))
+				}
+			}
+		}
+		terms, err := BvNDecompose(tm, 32)
+		if err != nil {
+			return false
+		}
+		var wsum float64
+		for _, tt := range terms {
+			if len(tt.Perm) != n {
+				return false
+			}
+			seen := make([]bool, n)
+			for _, j := range tt.Perm {
+				if j < 0 || j >= n || seen[j] {
+					return false
+				}
+				seen[j] = true
+			}
+			wsum += tt.Weight
+		}
+		return wsum <= 1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBvNSchedule(t *testing.T) {
+	tm := core.NewTM(6)
+	tm.Add(0, 1, 100)
+	tm.Add(2, 3, 100)
+	tm.Add(4, 5, 100)
+	tm.Add(1, 2, 10)
+	circuits, numSlices, err := BvN(tm, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numSlices != 8 {
+		t.Fatalf("numSlices = %d", numSlices)
+	}
+	s := &core.Schedule{NumSlices: numSlices, SliceDuration: time.Microsecond, Circuits: circuits}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The dominant matching {0-1,2-3,4-5} should hold most slices.
+	ix := core.NewConnIndex(s)
+	hot := 0
+	for ts := 0; ts < numSlices; ts++ {
+		if _, ok := ix.CircuitBetween(0, 1, core.Slice(ts)); ok {
+			hot++
+		}
+	}
+	if hot < numSlices/2 {
+		t.Fatalf("hot pair held only %d of %d slices", hot, numSlices)
+	}
+}
+
+func TestJupiterColdStartAndEvolution(t *testing.T) {
+	// Cold start: uniform mesh.
+	cold, err := Jupiter(nil, nil, 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) == 0 {
+		t.Fatal("cold start empty")
+	}
+	s := &core.Schedule{NumSlices: 1, Circuits: cold}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Evolution toward a skewed TM keeps common circuits and is valid.
+	tm := core.NewTM(8)
+	tm.Add(0, 7, 1000)
+	tm.Add(1, 6, 900)
+	next, err := Jupiter(tm, cold, 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := &core.Schedule{NumSlices: 1, Circuits: next}
+	if err := s2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ix := core.NewConnIndex(s2)
+	if _, ok := ix.CircuitBetween(0, 7, core.WildcardSlice); !ok {
+		t.Fatal("hot pair 0-7 not connected after evolution")
+	}
+	if _, ok := ix.CircuitBetween(1, 6, core.WildcardSlice); !ok {
+		t.Fatal("hot pair 1-6 not connected after evolution")
+	}
+}
+
+func TestJupiterMoveBudget(t *testing.T) {
+	cold, err := Jupiter(nil, nil, 8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := core.NewTM(8)
+	// Demand orthogonal to the mesh: forces changes.
+	tm.Add(0, 4, 100)
+	tm.Add(1, 5, 100)
+	tm.Add(2, 6, 100)
+	tm.Add(3, 7, 100)
+	limited, err := Jupiter(tm, cold, 8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count circuits not in cold: must be <= 1 (the move budget).
+	prevSet := make(map[core.Circuit]bool)
+	for _, c := range cold {
+		cc := c.Canon()
+		cc.PortA, cc.PortB = 0, 0
+		prevSet[cc] = true
+	}
+	changes := 0
+	for _, c := range limited {
+		cc := c.Canon()
+		cc.PortA, cc.PortB = 0, 0
+		if !prevSet[cc] {
+			changes++
+		}
+	}
+	if changes > 1 {
+		t.Fatalf("%d circuits moved, budget was 1", changes)
+	}
+}
+
+func TestSORNSkewsTowardHotPairs(t *testing.T) {
+	n, uplink := 8, 1
+	tm := core.NewTM(n)
+	tm.Add(0, 1, 10000) // hotspot pair
+	tm.Add(2, 3, 5)
+	circuits, numSlices, err := SORN(tm, n, uplink, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &core.Schedule{NumSlices: numSlices, SliceDuration: time.Microsecond, Circuits: circuits}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ix := core.NewConnIndex(s)
+	hot, cold := 0, 0
+	for ts := 0; ts < numSlices; ts++ {
+		if _, ok := ix.CircuitBetween(0, 1, core.Slice(ts)); ok {
+			hot++
+		}
+		if _, ok := ix.CircuitBetween(4, 5, core.Slice(ts)); ok {
+			cold++
+		}
+	}
+	if hot <= cold {
+		t.Fatalf("hot pair got %d slices, cold got %d — no skew", hot, cold)
+	}
+	if hot < numSlices/2 {
+		t.Fatalf("hot pair got only %d of %d slices", hot, numSlices)
+	}
+}
+
+func TestSORNWithoutTrafficIsRoundRobin(t *testing.T) {
+	c1, n1, err := SORN(nil, 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, n2, err := RoundRobin(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 || len(c1) != len(c2) {
+		t.Fatalf("oblivious SORN differs from round robin: %d/%d slices, %d/%d circuits",
+			n1, n2, len(c1), len(c2))
+	}
+}

@@ -1,0 +1,438 @@
+package traffic
+
+import (
+	"fmt"
+
+	"openoptics/internal/core"
+	"openoptics/internal/sim"
+	"openoptics/internal/stats"
+	"openoptics/internal/transport"
+)
+
+// Endpoint bundles one host's identity with its transport stack — the
+// handle applications drive traffic through.
+type Endpoint struct {
+	Host  core.HostID
+	Node  core.NodeID
+	Stack *transport.Stack
+}
+
+// Well-known application ports, used to demux FCT samples when several
+// applications share the network (as in the Fig. 8 runs).
+const (
+	PortMemcached uint16 = 11211
+	PortAllreduce uint16 = 5000
+	PortIperf     uint16 = 5001
+	PortReplay    uint16 = 7000
+	PortProbe     uint16 = 9000
+)
+
+// Sink collects flow completions and RTT probes across all stacks, demuxed
+// by destination port.
+type Sink struct {
+	FCT map[uint16]*stats.Sample // ns, by app port
+	RTT *stats.Sample            // ns, UDP probes
+}
+
+// NewSink attaches a collector to the endpoints' stacks.
+func NewSink(eps []Endpoint) *Sink {
+	s := &Sink{FCT: make(map[uint16]*stats.Sample), RTT: stats.NewSample()}
+	for _, ep := range eps {
+		ep.Stack.OnFlowComplete = func(fc transport.FlowComplete) {
+			sample := s.FCT[fc.Flow.DstPort]
+			if sample == nil {
+				sample = stats.NewSample()
+				s.FCT[fc.Flow.DstPort] = sample
+			}
+			sample.Add(float64(fc.FCT()))
+		}
+		ep.Stack.OnUDPRtt = func(flow core.FlowKey, rtt int64) {
+			s.RTT.Add(float64(rtt))
+		}
+	}
+	return s
+}
+
+// FCTSample returns the sample for an app port (empty sample if none).
+func (s *Sink) FCTSample(port uint16) *stats.Sample {
+	if v, ok := s.FCT[port]; ok {
+		return v
+	}
+	return stats.NewSample()
+}
+
+// Replay drives Poisson flow arrivals with sizes drawn from a trace CDF,
+// scaled to a target fraction of the aggregate host line rate — the §7
+// methodology ("replay the RPC/Hadoop/KV traces and scale the load to x%
+// utilization").
+type Replay struct {
+	eng  *sim.Engine
+	eps  []Endpoint
+	cdf  *SizeCDF
+	rng  *sim.Rand
+	Port uint16
+
+	meanGapNs float64
+	nextPort  uint16
+	// CrossNodeOnly restricts destination choice to hosts under other
+	// nodes so every flow crosses the fabric (default true).
+	CrossNodeOnly bool
+	// HotFrac sends this fraction of flows to a host under HotNode,
+	// creating the in-cast hotspots congestion studies need (0 = uniform).
+	HotFrac float64
+	// HotNode is the hotspot ToR (default node 0).
+	HotNode core.NodeID
+	// OpenLoop replays flows as paced UDP datagrams with no congestion
+	// control — the methodology for buffer and loss studies (Table 3/4),
+	// where closed-loop TCP would throttle itself and hide the effect
+	// under test. Flows complete unconditionally; no FCTs are recorded.
+	OpenLoop bool
+
+	Started uint64
+	Bytes   uint64
+}
+
+// NewReplay creates a replay at `load` (0..1] of the aggregate host rate.
+func NewReplay(eng *sim.Engine, eps []Endpoint, cdf *SizeCDF, load float64, hostRateBps int64, seed uint64) (*Replay, error) {
+	if load <= 0 || load > 1 {
+		return nil, fmt.Errorf("traffic: load %g out of (0,1]", load)
+	}
+	if len(eps) < 2 {
+		return nil, fmt.Errorf("traffic: replay needs >= 2 endpoints")
+	}
+	aggBps := float64(hostRateBps) * float64(len(eps))
+	lambda := load * aggBps / (8 * cdf.MeanBytes()) // flows per second
+	return &Replay{
+		eng: eng, eps: eps, cdf: cdf,
+		rng:           sim.NewRand(seed ^ 0x9e91a7),
+		Port:          PortReplay,
+		meanGapNs:     1e9 / lambda,
+		nextPort:      20000,
+		CrossNodeOnly: true,
+	}, nil
+}
+
+// Start schedules arrivals over [now, now+duration).
+func (r *Replay) Start(duration int64) {
+	end := r.eng.Now() + duration
+	var arrive func()
+	arrive = func() {
+		if r.eng.Now() >= end {
+			return
+		}
+		r.launch()
+		gap := int64(r.rng.Exp(r.meanGapNs))
+		if gap < 1 {
+			gap = 1
+		}
+		r.eng.After(gap, arrive)
+	}
+	r.eng.After(int64(r.rng.Exp(r.meanGapNs)), arrive)
+}
+
+func (r *Replay) launch() {
+	si := r.rng.Intn(len(r.eps))
+	src := r.eps[si]
+	var dst Endpoint
+	if hot := r.hotEndpoint(src); hot != nil {
+		dst = *hot
+	} else {
+		for tries := 0; ; tries++ {
+			dst = r.eps[r.rng.Intn(len(r.eps))]
+			if dst.Host == src.Host {
+				continue
+			}
+			if !r.CrossNodeOnly || dst.Node != src.Node || tries > 16 {
+				break
+			}
+		}
+	}
+	size := r.cdf.Sample(r.rng)
+	r.nextPort++
+	if r.nextPort < 20000 {
+		r.nextPort = 20000
+	}
+	if r.OpenLoop {
+		flow := core.FlowKey{
+			SrcHost: src.Host, DstHost: dst.Host,
+			SrcPort: r.nextPort, DstPort: r.Port, Proto: core.ProtoUDP,
+		}
+		for left := size; left > 0; {
+			payload := int32(core.MaxPayload)
+			if left < int64(payload) {
+				payload = int32(left)
+			}
+			left -= int64(payload)
+			// Best effort: a full segment queue drops the rest of the
+			// flow, exactly like an open-loop packet generator facing
+			// NIC backpressure.
+			if !src.Stack.SendUDP(flow, src.Node, dst.Node, payload, false) {
+				break
+			}
+		}
+	} else {
+		flow := core.FlowKey{
+			SrcHost: src.Host, DstHost: dst.Host,
+			SrcPort: r.nextPort, DstPort: r.Port, Proto: core.ProtoTCP,
+		}
+		src.Stack.OpenTCP(flow, src.Node, dst.Node, size)
+	}
+	r.Started++
+	r.Bytes += uint64(size)
+}
+
+// hotEndpoint picks an in-cast destination under the hot node, or nil for
+// a uniform draw.
+func (r *Replay) hotEndpoint(src Endpoint) *Endpoint {
+	if r.HotFrac <= 0 || r.rng.Float64() >= r.HotFrac || src.Node == r.HotNode {
+		return nil
+	}
+	var under []int
+	for i, ep := range r.eps {
+		if ep.Node == r.HotNode {
+			under = append(under, i)
+		}
+	}
+	if len(under) == 0 {
+		return nil
+	}
+	return &r.eps[under[r.rng.Intn(len(under))]]
+}
+
+// Memcached models the latency-sensitive testbed app (§6): clients issue
+// 4.2 KB SET operations to one server host at millisecond-scale Poisson
+// intervals; each operation is a short TCP flow whose FCT is the
+// operation latency.
+type Memcached struct {
+	eng     *sim.Engine
+	server  Endpoint
+	clients []Endpoint
+	rng     *sim.Rand
+
+	// MeanGapNs between operations per client (default 1 ms).
+	MeanGapNs float64
+	// SetBytes per operation (default 4200).
+	SetBytes int64
+
+	nextPort uint16
+	Ops      uint64
+}
+
+// NewMemcached creates the app with the first endpoint as server.
+func NewMemcached(eng *sim.Engine, server Endpoint, clients []Endpoint, seed uint64) *Memcached {
+	return &Memcached{
+		eng: eng, server: server, clients: clients,
+		rng:       sim.NewRand(seed ^ 0x3e3ca),
+		MeanGapNs: 1e6,
+		SetBytes:  4200,
+		nextPort:  30000,
+	}
+}
+
+// Start schedules operations over [now, now+duration).
+func (m *Memcached) Start(duration int64) {
+	end := m.eng.Now() + duration
+	for ci := range m.clients {
+		ci := ci
+		var op func()
+		op = func() {
+			if m.eng.Now() >= end {
+				return
+			}
+			c := m.clients[ci]
+			m.nextPort++
+			flow := core.FlowKey{
+				SrcHost: c.Host, DstHost: m.server.Host,
+				SrcPort: m.nextPort, DstPort: PortMemcached, Proto: core.ProtoTCP,
+			}
+			c.Stack.OpenTCP(flow, c.Node, m.server.Node, m.SetBytes)
+			m.Ops++
+			m.eng.After(int64(m.rng.Exp(m.MeanGapNs)), op)
+		}
+		m.eng.After(int64(m.rng.Exp(m.MeanGapNs)), op)
+	}
+}
+
+// AllReduce models the throughput-intensive testbed app (§6): a Gloo-style
+// ring allreduce over the endpoints. Each of the 2(N-1) steps transfers
+// DataBytes/N from every host to its ring successor; steps are barriered.
+// The recorded "FCT" (on PortAllreduce) is the full allreduce duration.
+type AllReduce struct {
+	eng *sim.Engine
+	eps []Endpoint
+	// DataBytes is the per-host tensor size (800 KB – 20 MB in §6).
+	DataBytes int64
+	// OnDone fires with the total duration when the collective finishes.
+	OnDone func(ns int64)
+
+	step      int
+	remaining int
+	start     int64
+	nextPort  uint16
+	active    bool
+	wired     bool
+	conns     []*transport.Conn
+}
+
+// NewAllReduce creates a ring allreduce over eps.
+func NewAllReduce(eng *sim.Engine, eps []Endpoint, dataBytes int64) *AllReduce {
+	return &AllReduce{eng: eng, eps: eps, DataBytes: dataBytes, nextPort: 40000}
+}
+
+// Start launches the collective. The per-stack completion handlers are
+// chained exactly once per AllReduce instance — reuse the instance via
+// Restart for back-to-back collectives (chaining again per collective
+// would build quadratic handler chains).
+func (a *AllReduce) Start() {
+	if len(a.eps) < 2 {
+		if a.OnDone != nil {
+			a.OnDone(0)
+		}
+		return
+	}
+	if !a.wired {
+		a.wired = true
+		for _, src := range a.eps {
+			prev := src.Stack.OnFlowComplete
+			src.Stack.OnFlowComplete = func(fc transport.FlowComplete) {
+				if prev != nil {
+					prev(fc)
+				}
+				if a.active && fc.Flow.DstPort == PortAllreduce {
+					a.transferDone()
+				}
+			}
+		}
+	}
+	a.start = a.eng.Now()
+	a.step = 0
+	a.active = true
+	a.runStep()
+}
+
+// Restart begins a fresh collective of the given size on the same
+// endpoints, reusing the completion wiring.
+func (a *AllReduce) Restart(dataBytes int64) {
+	if a.active {
+		panic("traffic: Restart while a collective is running")
+	}
+	a.DataBytes = dataBytes
+	a.Start()
+}
+
+func (a *AllReduce) runStep() {
+	n := len(a.eps)
+	chunk := a.DataBytes / int64(n)
+	if chunk < 1 {
+		chunk = 1
+	}
+	a.remaining = n
+	a.conns = a.conns[:0]
+	for i, src := range a.eps {
+		dst := a.eps[(i+1)%n]
+		a.nextPort++
+		flow := core.FlowKey{
+			SrcHost: src.Host, DstHost: dst.Host,
+			SrcPort: a.nextPort, DstPort: PortAllreduce, Proto: core.ProtoTCP,
+		}
+		a.conns = append(a.conns, src.Stack.OpenTCP(flow, src.Node, dst.Node, chunk))
+	}
+}
+
+func (a *AllReduce) transferDone() {
+	a.remaining--
+	if a.remaining > 0 {
+		return
+	}
+	a.step++
+	if a.step >= 2*(len(a.eps)-1) {
+		a.active = false
+		if a.OnDone != nil {
+			a.OnDone(a.eng.Now() - a.start)
+		}
+		return
+	}
+	a.runStep()
+}
+
+// Iperf models long-lived throughput measurement flows (Case II): one
+// effectively unbounded TCP flow per (src, dst) pair; Goodput reports the
+// achieved rate from acked bytes.
+type Iperf struct {
+	eng   *sim.Engine
+	conns []*transport.Conn
+	start int64
+}
+
+// NewIperf opens long flows for each (src, dst) pair given.
+func NewIperf(eng *sim.Engine, pairs [][2]Endpoint) *Iperf {
+	ip := &Iperf{eng: eng, start: eng.Now()}
+	for i, pr := range pairs {
+		flow := core.FlowKey{
+			SrcHost: pr[0].Host, DstHost: pr[1].Host,
+			SrcPort: uint16(50000 + i), DstPort: PortIperf, Proto: core.ProtoTCP,
+		}
+		// 10 GB: effectively unbounded at experiment timescales.
+		ip.conns = append(ip.conns, pr[0].Stack.OpenTCP(flow, pr[0].Node, pr[1].Node, 10<<30))
+	}
+	return ip
+}
+
+// GoodputBps returns the aggregate acked-byte rate since start.
+func (ip *Iperf) GoodputBps() float64 {
+	el := ip.eng.Now() - ip.start
+	if el <= 0 {
+		return 0
+	}
+	var acked int64
+	for _, c := range ip.conns {
+		acked += c.Acked()
+	}
+	return float64(acked) * 8 / (float64(el) / 1e9)
+}
+
+// Retransmissions sums retransmitted segments across the iperf flows.
+func (ip *Iperf) Retransmissions() uint64 {
+	var n uint64
+	for _, c := range ip.conns {
+		n += c.Retransmissions
+	}
+	return n
+}
+
+// UDPProbe continuously sends echo datagrams between a host pair and
+// collects per-packet RTTs through the sink (Fig. 13's methodology).
+type UDPProbe struct {
+	eng      *sim.Engine
+	src, dst Endpoint
+	// IntervalNs between probes (default 10 µs).
+	IntervalNs int64
+	// Payload bytes (default 512).
+	Payload int32
+
+	Sent uint64
+}
+
+// NewUDPProbe creates a prober from src to dst.
+func NewUDPProbe(eng *sim.Engine, src, dst Endpoint) *UDPProbe {
+	return &UDPProbe{eng: eng, src: src, dst: dst, IntervalNs: 10_000, Payload: 512}
+}
+
+// Start probes over [now, now+duration).
+func (u *UDPProbe) Start(duration int64) {
+	flow := core.FlowKey{
+		SrcHost: u.src.Host, DstHost: u.dst.Host,
+		SrcPort: 60000, DstPort: PortProbe, Proto: core.ProtoUDP,
+	}
+	end := u.eng.Now() + duration
+	var tick func()
+	tick = func() {
+		if u.eng.Now() >= end {
+			return
+		}
+		u.src.Stack.SendUDP(flow, u.src.Node, u.dst.Node, u.Payload, true)
+		u.Sent++
+		u.eng.After(u.IntervalNs, tick)
+	}
+	u.eng.After(u.IntervalNs, tick)
+}

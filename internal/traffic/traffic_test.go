@@ -1,0 +1,155 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"openoptics/internal/sim"
+)
+
+func TestCDFSampleRange(t *testing.T) {
+	for _, c := range []*SizeCDF{KVStore(), RPC(), Hadoop()} {
+		r := sim.NewRand(7)
+		min, max := c.points[0].Bytes, c.points[len(c.points)-1].Bytes
+		for i := 0; i < 10000; i++ {
+			v := float64(c.Sample(r))
+			if v < 1 || v > max {
+				t.Fatalf("%s: sample %g out of (0, %g]", c.Name, v, max)
+			}
+		}
+		_ = min
+	}
+}
+
+func TestCDFShapes(t *testing.T) {
+	// The three traces must order as the studies report: KV smallest
+	// flows, Hadoop heaviest tail.
+	kv, rpc, hd := KVStore(), RPC(), Hadoop()
+	if !(kv.MeanBytes() < rpc.MeanBytes() && rpc.MeanBytes() < hd.MeanBytes()) {
+		t.Fatalf("means: kv=%g rpc=%g hadoop=%g, want kv < rpc < hadoop",
+			kv.MeanBytes(), rpc.MeanBytes(), hd.MeanBytes())
+	}
+	// Empirical medians reflect the knots.
+	r := sim.NewRand(3)
+	med := func(c *SizeCDF) float64 {
+		var vals []int64
+		for i := 0; i < 20001; i++ {
+			vals = append(vals, c.Sample(r))
+		}
+		// nth element
+		lo, hi := int64(0), int64(1<<40)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			cnt := 0
+			for _, v := range vals {
+				if v <= mid {
+					cnt++
+				}
+			}
+			if cnt > len(vals)/2 {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return float64(lo)
+	}
+	if m := med(kv); m > 4096 {
+		t.Errorf("kv median %g, want <= 4096 (network-level flows)", m)
+	}
+	if m := med(hd); m < 512 || m > 4096 {
+		t.Errorf("hadoop median %g, want ~1KB", m)
+	}
+}
+
+func TestCDFValidation(t *testing.T) {
+	if _, err := NewSizeCDF("bad", []CDFPoint{{Bytes: 10, P: 0.5}}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewSizeCDF("bad", []CDFPoint{
+		{Bytes: 10, P: 0.5}, {Bytes: 5, P: 1}}); err == nil {
+		t.Error("non-monotone sizes accepted")
+	}
+	if _, err := NewSizeCDF("bad", []CDFPoint{
+		{Bytes: 10, P: 0.2}, {Bytes: 20, P: 0.5}}); err == nil {
+		t.Error("CDF not reaching 1 accepted")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"kv", "rpc", "hadoop"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := ByName("websearch"); err == nil {
+		t.Error("unknown trace accepted")
+	}
+}
+
+// Property: inverse-transform sampling respects the CDF: the fraction of
+// samples <= knot k approximates P(k).
+func TestCDFCalibrationProperty(t *testing.T) {
+	c := RPC()
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed | 1)
+		const n = 5000
+		counts := make([]int, len(c.points))
+		for i := 0; i < n; i++ {
+			v := float64(c.Sample(r))
+			for j, pt := range c.points {
+				if v <= pt.Bytes {
+					counts[j]++
+				}
+			}
+		}
+		for j, pt := range c.points {
+			frac := float64(counts[j]) / n
+			if frac < pt.P-0.05 || frac > pt.P+0.05 {
+				return false
+			}
+			_ = j
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	eng := sim.New()
+	if _, err := NewReplay(eng, nil, KVStore(), 0.4, 100e9, 1); err == nil {
+		t.Error("empty endpoints accepted")
+	}
+	eps := []Endpoint{{Host: 0, Node: 0}, {Host: 1, Node: 1}}
+	if _, err := NewReplay(eng, eps, KVStore(), 0, 100e9, 1); err == nil {
+		t.Error("zero load accepted")
+	}
+	if _, err := NewReplay(eng, eps, KVStore(), 1.5, 100e9, 1); err == nil {
+		t.Error("load > 1 accepted")
+	}
+}
+
+func TestReplayRateCalibration(t *testing.T) {
+	// Without a real network we can still check arrival-rate math: at
+	// load L the offered bytes over T approximate L x aggregate rate x T.
+	eng := sim.New()
+	var eps []Endpoint
+	for i := 0; i < 4; i++ {
+		// Stacks are nil: we only count what launch() would offer, so
+		// we avoid OpenTCP by overriding after construction.
+		eps = append(eps, Endpoint{Host: 0, Node: 0})
+	}
+	cdf := KVStore()
+	r, err := NewReplay(eng, eps, cdf, 0.5, 100e9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected flows/sec = load*agg/(8*mean).
+	wantLambda := 0.5 * 4 * 100e9 / (8 * cdf.MeanBytes())
+	gotLambda := 1e9 / r.meanGapNs
+	if gotLambda/wantLambda < 0.99 || gotLambda/wantLambda > 1.01 {
+		t.Fatalf("lambda = %g, want %g", gotLambda, wantLambda)
+	}
+}

@@ -1,0 +1,64 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"openoptics/internal/core"
+)
+
+func TestTDTCPIsolatesDivisions(t *testing.T) {
+	run := func(divisions int) (int64, []float64) {
+		cfg := TCPConfig{RTO: 3_000_000, TDTCPDivisions: divisions, TDTCPPeriodNs: 200_000}
+		p := newPair(cfg, nil)
+		// Drive division-dependent loss at the receiving side.
+		drop := 0
+		inner := p.stacks[1]
+		p.hosts[1].Handler = func(pkt *core.Packet) {
+			if pkt.Flow.Proto == core.ProtoTCP && !pkt.HasFlag(core.FlagACK) && pkt.Payload > 0 {
+				div := (p.eng.Now() / 200_000) % 2
+				if div == 1 {
+					drop++
+					if drop%3 == 0 {
+						return // lost on the bad division
+					}
+				}
+			}
+			inner.onReceive(pkt)
+		}
+		conn := p.stacks[0].OpenTCP(flowKey(), 0, 1, 2_000_000)
+		p.eng.RunUntil(int64(400 * time.Millisecond))
+		return conn.Acked(), conn.DivisionWindows()
+	}
+	ackedClassic, winClassic := run(0)
+	ackedTD, winTD := run(2)
+	if len(winClassic) != 1 {
+		t.Fatalf("classic TCP windows = %v", winClassic)
+	}
+	if len(winTD) != 2 {
+		t.Fatalf("TDTCP windows = %v", winTD)
+	}
+	// TDTCP must move at least as much data: the good division's window
+	// is not collapsed by the bad division's losses.
+	if ackedTD < ackedClassic {
+		t.Fatalf("TDTCP acked %d < classic %d", ackedTD, ackedClassic)
+	}
+	// And the per-division state must actually diverge: the clean
+	// division holds a larger window than the lossy one.
+	if winTD[0] <= winTD[1] {
+		t.Fatalf("division windows did not diverge: %v", winTD)
+	}
+}
+
+func TestTDTCPCompletesLossless(t *testing.T) {
+	cfg := TCPConfig{TDTCPDivisions: 4, TDTCPPeriodNs: 100_000}
+	p := newPair(cfg, nil)
+	conn := p.stacks[0].OpenTCP(flowKey(), 0, 1, 1_000_000)
+	p.eng.RunUntil(int64(100 * time.Millisecond))
+	if !conn.Done() {
+		t.Fatalf("TDTCP lossless transfer incomplete: %d", conn.Acked())
+	}
+	if conn.Retransmissions != 0 {
+		t.Fatalf("lossless TDTCP retransmitted %d", conn.Retransmissions)
+	}
+}

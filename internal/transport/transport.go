@@ -1,0 +1,462 @@
+// Package transport implements the endpoint transport layer the case
+// studies exercise: a simulator TCP with slow start, AIMD congestion
+// avoidance, fast retransmit with a configurable dupack threshold (the
+// knob turned in Case II / Fig. 9), RTO recovery, and packet-reordering
+// accounting; plus UDP with echo support for RTT probing (Fig. 13).
+package transport
+
+import (
+	"fmt"
+
+	"openoptics/internal/core"
+	"openoptics/internal/hostsim"
+	"openoptics/internal/sim"
+)
+
+// TCPConfig tunes the simulated TCP stack.
+type TCPConfig struct {
+	// MSS is the maximum segment payload (default core.MaxPayload).
+	MSS int32
+	// InitCwnd is the initial congestion window in segments (default 10).
+	InitCwnd float64
+	// DupAckThreshold triggers fast retransmit (default 3; Case II
+	// raises it to 5 to tolerate optical-path reordering).
+	DupAckThreshold int
+	// RTO is the retransmission timeout in ns (default 1 ms).
+	RTO int64
+	// MaxCwnd caps the window in segments (default 512).
+	MaxCwnd float64
+	// TDTCPDivisions enables Time-division TCP with that many divisions
+	// (normally the optical cycle length); 0 keeps classic single-state
+	// TCP. See tdtcp.go.
+	TDTCPDivisions int
+	// TDTCPPeriodNs is one division's duration (normally the slice
+	// duration; default 100 µs).
+	TDTCPPeriodNs int64
+}
+
+func (c *TCPConfig) mss() int32 {
+	if c.MSS <= 0 {
+		return core.MaxPayload
+	}
+	return c.MSS
+}
+
+func (c *TCPConfig) initCwnd() float64 {
+	if c.InitCwnd <= 0 {
+		return 10
+	}
+	return c.InitCwnd
+}
+
+func (c *TCPConfig) dupThresh() int {
+	if c.DupAckThreshold <= 0 {
+		return 3
+	}
+	return c.DupAckThreshold
+}
+
+func (c *TCPConfig) rto() int64 {
+	if c.RTO <= 0 {
+		return 1_000_000
+	}
+	return c.RTO
+}
+
+func (c *TCPConfig) maxCwnd() float64 {
+	if c.MaxCwnd <= 0 {
+		return 512
+	}
+	return c.MaxCwnd
+}
+
+// FlowComplete reports a finished TCP flow.
+type FlowComplete struct {
+	Flow  core.FlowKey
+	Bytes int64
+	Start int64
+	End   int64
+}
+
+// FCT returns the flow completion time in ns.
+func (f FlowComplete) FCT() int64 { return f.End - f.Start }
+
+// Stack is one host's transport stack. It owns the host's receive handler.
+type Stack struct {
+	eng  *sim.Engine
+	host *hostsim.Host
+	cfg  TCPConfig
+	rng  *sim.Rand
+
+	conns     map[core.FlowKey]*Conn
+	receivers map[core.FlowKey]*rcvState
+	udp       map[uint16]func(pkt *core.Packet)
+
+	// OnFlowComplete fires when a locally originated flow finishes.
+	OnFlowComplete func(FlowComplete)
+	// OnUDPRtt fires for returned echo probes with the measured RTT.
+	OnUDPRtt func(flow core.FlowKey, rttNs int64)
+
+	// ReorderEvents counts out-of-order data arrivals across all
+	// receivers on this stack (Fig. 9 b).
+	ReorderEvents uint64
+
+	nextID uint64
+}
+
+// NewStack attaches a transport stack to the host.
+func NewStack(eng *sim.Engine, host *hostsim.Host, cfg TCPConfig, seed uint64) *Stack {
+	s := &Stack{
+		eng: eng, host: host, cfg: cfg,
+		rng:       sim.NewRand(seed ^ 0x7ca9),
+		conns:     make(map[core.FlowKey]*Conn),
+		receivers: make(map[core.FlowKey]*rcvState),
+		udp:       make(map[uint16]func(*core.Packet)),
+	}
+	host.Handler = s.onReceive
+	return s
+}
+
+// Conn is a sending TCP connection.
+type Conn struct {
+	stack *Stack
+	flow  core.FlowKey
+	// endpoints
+	srcNode, dstNode core.NodeID
+
+	total    int64
+	nextSeq  int64
+	acked    int64
+	cwnd     float64
+	ssthresh float64
+	dupacks  int
+	inFR     bool
+	start    int64
+	done     bool
+
+	// RTO bookkeeping: one timer pending at a time, validated against
+	// the last progress timestamp when it fires.
+	lastProgress int64
+	rtoArmed     bool
+
+	// td holds per-division congestion state when TDTCP is enabled.
+	td *tdtcp
+
+	// Retransmissions counts segments resent by fast retransmit or RTO.
+	Retransmissions uint64
+}
+
+// OpenTCP starts a sender transferring totalBytes to the destination; FCT
+// is reported through OnFlowComplete.
+func (s *Stack) OpenTCP(flow core.FlowKey, srcNode, dstNode core.NodeID, totalBytes int64) *Conn {
+	c := &Conn{
+		stack: s, flow: flow, srcNode: srcNode, dstNode: dstNode,
+		total: totalBytes, cwnd: s.cfg.initCwnd(), ssthresh: s.cfg.maxCwnd(),
+		start: s.eng.Now(),
+	}
+	if s.cfg.TDTCPDivisions > 0 {
+		c.td = newTDTCP(s.cfg.TDTCPDivisions, s.cfg.initCwnd(), s.cfg.maxCwnd())
+	}
+	s.conns[flow] = c
+	c.trySend()
+	c.armRTO()
+	return c
+}
+
+// Acked returns the cumulative acknowledged bytes.
+func (c *Conn) Acked() int64 { return c.acked }
+
+// Done reports flow completion.
+func (c *Conn) Done() bool { return c.done }
+
+func (c *Conn) mss() int64 { return int64(c.stack.cfg.mss()) }
+
+func (c *Conn) inflight() int64 { return c.nextSeq - c.acked }
+
+func (c *Conn) window() int64 {
+	if c.td != nil {
+		return int64(c.tdCwnd() * float64(c.mss()))
+	}
+	return int64(c.cwnd * float64(c.mss()))
+}
+
+// trySend pushes segments while the window and segment queue allow.
+func (c *Conn) trySend() {
+	if c.done {
+		return
+	}
+	for c.nextSeq < c.total && c.inflight() < c.window() {
+		if !c.emit(c.nextSeq) {
+			// Segment queue full: resume when space frees.
+			c.stack.host.NotifySpace(func() { c.trySend() })
+			return
+		}
+		if c.td != nil {
+			c.tdStamp(c.nextSeq)
+		}
+		payload := c.mss()
+		if c.total-c.nextSeq < payload {
+			payload = c.total - c.nextSeq
+		}
+		c.nextSeq += payload
+	}
+}
+
+// emit sends the segment starting at seq; returns false on backpressure.
+func (c *Conn) emit(seq int64) bool {
+	payload := c.mss()
+	if c.total-seq < payload {
+		payload = c.total - seq
+	}
+	s := c.stack
+	s.nextID++
+	pkt := &core.Packet{
+		ID:      s.nextID ^ uint64(c.flow.Hash()),
+		Flow:    c.flow,
+		SrcNode: c.srcNode,
+		DstNode: c.dstNode,
+		Size:    int32(payload) + core.HeaderBytes,
+		Payload: int32(payload),
+		Seq:     uint32(seq),
+		Created: s.eng.Now(),
+		TTL:     core.DefaultTTL,
+	}
+	return s.host.Send(pkt)
+}
+
+// armRTO keeps exactly one pending timeout event per connection: when it
+// fires, it checks whether any progress happened during the window and
+// either re-arms for the remainder or declares a timeout. This bounds the
+// event-queue footprint regardless of the ACK rate.
+func (c *Conn) armRTO() {
+	c.lastProgress = c.stack.eng.Now()
+	if c.rtoArmed || c.done {
+		return
+	}
+	c.rtoArmed = true
+	c.scheduleRTOCheck(c.stack.cfg.rto())
+}
+
+func (c *Conn) scheduleRTOCheck(d int64) {
+	c.stack.eng.After(d, func() {
+		if c.done {
+			c.rtoArmed = false
+			return
+		}
+		rto := c.stack.cfg.rto()
+		idle := c.stack.eng.Now() - c.lastProgress
+		if idle < rto {
+			c.scheduleRTOCheck(rto - idle)
+			return
+		}
+		// Timeout: collapse the window (only the owning division's, under
+		// TDTCP) and resend from the hole.
+		if c.td != nil {
+			c.tdOnTimeout()
+		} else {
+			c.ssthresh = c.cwnd / 2
+			if c.ssthresh < 2 {
+				c.ssthresh = 2
+			}
+			c.cwnd = 1
+			c.dupacks = 0
+			c.inFR = false
+		}
+		c.Retransmissions++
+		c.emit(c.acked)
+		if c.td != nil {
+			c.tdStamp(c.acked)
+		}
+		c.lastProgress = c.stack.eng.Now()
+		c.scheduleRTOCheck(rto)
+	})
+}
+
+// onAck handles a cumulative ACK for this connection.
+func (c *Conn) onAck(ack int64) {
+	if c.done {
+		return
+	}
+	cfg := &c.stack.cfg
+	if ack > c.acked {
+		prev := c.acked
+		c.acked = ack
+		if c.td != nil {
+			c.tdOnAck(prev, ack, true)
+		} else {
+			c.dupacks = 0
+			if c.inFR {
+				c.inFR = false
+				c.cwnd = c.ssthresh
+			} else if c.cwnd < c.ssthresh {
+				c.cwnd++ // slow start
+			} else {
+				c.cwnd += 1 / c.cwnd // congestion avoidance
+			}
+			if c.cwnd > cfg.maxCwnd() {
+				c.cwnd = cfg.maxCwnd()
+			}
+		}
+		c.armRTO()
+		if c.acked >= c.total {
+			c.done = true
+			if c.stack.OnFlowComplete != nil {
+				c.stack.OnFlowComplete(FlowComplete{
+					Flow: c.flow, Bytes: c.total, Start: c.start, End: c.stack.eng.Now(),
+				})
+			}
+			return
+		}
+		c.trySend()
+		return
+	}
+	// Duplicate ACK.
+	if c.td != nil {
+		c.tdOnAck(c.acked, c.acked, false)
+		return
+	}
+	c.dupacks++
+	if !c.inFR && c.dupacks >= cfg.dupThresh() {
+		// Fast retransmit.
+		c.inFR = true
+		c.ssthresh = c.cwnd / 2
+		if c.ssthresh < 2 {
+			c.ssthresh = 2
+		}
+		c.cwnd = c.ssthresh
+		c.Retransmissions++
+		c.emit(c.acked)
+	}
+}
+
+// rcvState tracks one incoming TCP stream.
+type rcvState struct {
+	expected int64
+	ooo      map[int64]int64 // seq -> payload len of out-of-order segments
+}
+
+// onReceive is the host's packet handler: TCP data, TCP ACKs, and UDP.
+func (s *Stack) onReceive(pkt *core.Packet) {
+	switch pkt.Flow.Proto {
+	case core.ProtoTCP:
+		if pkt.HasFlag(core.FlagACK) {
+			if c, ok := s.conns[pkt.Flow.Reverse()]; ok {
+				c.onAck(int64(pkt.Ack))
+			}
+			return
+		}
+		s.onTCPData(pkt)
+	case core.ProtoUDP:
+		s.onUDP(pkt)
+	}
+}
+
+func (s *Stack) onTCPData(pkt *core.Packet) {
+	r := s.receivers[pkt.Flow]
+	if r == nil {
+		r = &rcvState{ooo: make(map[int64]int64)}
+		s.receivers[pkt.Flow] = r
+	}
+	seq := int64(pkt.Seq)
+	if pkt.HasFlag(core.FlagTrimmed) || pkt.Payload == 0 {
+		// Trimmed header: data lost in fabric; dup-ACK to provoke
+		// retransmission.
+		s.sendAck(pkt, r.expected)
+		return
+	}
+	switch {
+	case seq == r.expected:
+		r.expected += int64(pkt.Payload)
+		// Absorb any buffered continuation.
+		for {
+			l, ok := r.ooo[r.expected]
+			if !ok {
+				break
+			}
+			delete(r.ooo, r.expected)
+			r.expected += l
+		}
+	case seq > r.expected:
+		s.ReorderEvents++
+		if _, dup := r.ooo[seq]; !dup {
+			r.ooo[seq] = int64(pkt.Payload)
+		}
+	default:
+		// Stale retransmission: ack again.
+	}
+	s.sendAck(pkt, r.expected)
+}
+
+func (s *Stack) sendAck(data *core.Packet, cum int64) {
+	s.nextID++
+	ack := &core.Packet{
+		ID:      s.nextID ^ 0xac4,
+		Flow:    data.Flow.Reverse(),
+		SrcNode: data.DstNode,
+		DstNode: data.SrcNode,
+		Size:    core.HeaderBytes,
+		Ack:     uint32(cum),
+		Flags:   core.FlagACK,
+		Created: s.eng.Now(),
+		TTL:     core.DefaultTTL,
+	}
+	s.host.Send(ack)
+}
+
+// SendUDP emits one UDP datagram; with echo=true the peer stack reflects
+// it and OnUDPRtt fires with the measured RTT.
+func (s *Stack) SendUDP(flow core.FlowKey, srcNode, dstNode core.NodeID, payload int32, echo bool) bool {
+	if flow.Proto != core.ProtoUDP {
+		panic(fmt.Sprintf("transport: SendUDP with proto %d", flow.Proto))
+	}
+	s.nextID++
+	pkt := &core.Packet{
+		ID:      s.nextID ^ 0xdd9,
+		Flow:    flow,
+		SrcNode: srcNode,
+		DstNode: dstNode,
+		Size:    payload + core.HeaderBytes,
+		Payload: payload,
+		Created: s.eng.Now(),
+		Echo:    s.eng.Now(),
+		TTL:     core.DefaultTTL,
+	}
+	if echo {
+		pkt.Flags |= core.FlagEcho
+	}
+	return s.host.Send(pkt)
+}
+
+// HandleUDP registers a datagram handler for a destination port.
+func (s *Stack) HandleUDP(port uint16, fn func(pkt *core.Packet)) { s.udp[port] = fn }
+
+func (s *Stack) onUDP(pkt *core.Packet) {
+	if pkt.HasFlag(core.FlagEcho) {
+		if pkt.HasFlag(core.FlagACK) {
+			// Returned probe.
+			if s.OnUDPRtt != nil {
+				s.OnUDPRtt(pkt.Flow, s.eng.Now()-pkt.Echo)
+			}
+			return
+		}
+		// Reflect.
+		s.nextID++
+		rep := &core.Packet{
+			ID:      s.nextID ^ 0xec0,
+			Flow:    pkt.Flow.Reverse(),
+			SrcNode: pkt.DstNode,
+			DstNode: pkt.SrcNode,
+			Size:    pkt.Size,
+			Payload: pkt.Payload,
+			Flags:   core.FlagEcho | core.FlagACK,
+			Echo:    pkt.Echo,
+			Created: s.eng.Now(),
+			TTL:     core.DefaultTTL,
+		}
+		s.host.Send(rep)
+		return
+	}
+	if fn, ok := s.udp[pkt.Flow.DstPort]; ok {
+		fn(pkt)
+	}
+}

@@ -1,0 +1,195 @@
+package openoptics
+
+// System-level invariant tests: packet conservation, determinism, and
+// calendar-timing properties checked across randomized scenarios with
+// testing/quick.
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+)
+
+// buildRandomRotor builds a RotorNet-style net from fuzzed parameters.
+func buildRandomRotor(nodesRaw, uplinkRaw uint8, seed uint64) (*Net, int, error) {
+	nodes := 4 + int(nodesRaw%5)   // 4..8
+	uplink := 1 + int(uplinkRaw%2) // 1..2
+	n, err := New(Config{
+		NodeNum:         nodes,
+		Uplink:          uplink,
+		SliceDurationNs: 100_000,
+		Seed:            seed | 1,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	circuits, numSlices, err := RoundRobin(nodes, uplink)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := n.DeployTopo(circuits, numSlices); err != nil {
+		return nil, 0, err
+	}
+	paths := n.VLB(circuits, numSlices, RoutingOptions{})
+	if err := n.DeployRouting(paths, LookupHop, MultipathPacket); err != nil {
+		return nil, 0, err
+	}
+	return n, nodes, nil
+}
+
+// TestPacketConservation: every packet a host sent is either delivered to
+// a host, dropped with an accounted reason, still buffered in the network,
+// or parked on a host — nothing vanishes.
+func TestPacketConservation(t *testing.T) {
+	f := func(nodesRaw, uplinkRaw uint8, seed uint64) bool {
+		n, nodes, err := buildRandomRotor(nodesRaw, uplinkRaw, seed)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		eps := n.Endpoints()
+		// UDP-only traffic so no retransmissions blur the count.
+		var sent uint64
+		rng := seed | 1
+		for i := 0; i < 200; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			src := int(rng>>33) % nodes
+			dst := (src + 1 + int(rng>>40)%(nodes-1)) % nodes
+			flow := core.FlowKey{SrcHost: eps[src].Host, DstHost: eps[dst].Host,
+				SrcPort: uint16(i), DstPort: 7, Proto: core.ProtoUDP}
+			if eps[src].Stack.SendUDP(flow, eps[src].Node, eps[dst].Node, 800, false) {
+				sent++
+			}
+		}
+		n.Run(20 * time.Millisecond) // several cycles: everything settles
+		c := n.Counters()
+		fab := n.OpticalFabric()
+		var hostRx, parked uint64
+		var buffered int64
+		for _, h := range n.Hosts() {
+			hostRx += h.Counters.RxPkts
+			parked += uint64(h.ParkedPackets())
+		}
+		for node := 0; node < nodes; node++ {
+			buffered += n.BufferUsage(core.NodeID(node), core.NoPort)
+		}
+		drops := c.DropsNoRoute + c.DropsBuffer + c.DropsWrap + c.DropsCongest +
+			c.DropsTTL + fab.DropsGuard + fab.DropsNoCircuit
+		// Delivered counts switch->host handoffs of data packets.
+		if c.Delivered+drops+parked < sent && buffered == 0 {
+			t.Logf("sent=%d delivered=%d drops=%d parked=%d buffered=%d",
+				sent, c.Delivered, drops, parked, buffered)
+			return false
+		}
+		// And nothing is created from thin air: deliveries never exceed sends.
+		return c.Delivered <= sent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism: identical configuration and seed produce identical
+// results; a different seed produces different microscopic behaviour.
+func TestDeterminism(t *testing.T) {
+	run := func(seed uint64) (uint64, float64) {
+		n, _, err := buildRandomRotor(3, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := n.Endpoints()
+		sink := traffic.NewSink(eps)
+		mc := traffic.NewMemcached(n.Engine(), eps[0], eps[1:], seed)
+		mc.Start(int64(15 * time.Millisecond))
+		n.Run(25 * time.Millisecond)
+		return n.Counters().TxPkts, sink.FCTSample(traffic.PortMemcached).Mean()
+	}
+	tx1, fct1 := run(77)
+	tx2, fct2 := run(77)
+	if tx1 != tx2 || fct1 != fct2 {
+		t.Fatalf("same seed diverged: tx %d/%d fct %g/%g", tx1, tx2, fct1, fct2)
+	}
+	tx3, fct3 := run(78)
+	if tx1 == tx3 && fct1 == fct3 {
+		t.Fatal("different seed produced identical run — randomness not wired")
+	}
+}
+
+// TestCircuitExclusivity: the fabric never carries a packet over a port
+// pair that has no circuit in the current slice — enforced by construction,
+// observed here via the no-circuit drop counter staying at zero for traffic
+// that follows deployed routing.
+func TestCircuitExclusivity(t *testing.T) {
+	n, nodes, err := buildRandomRotor(2, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := n.Endpoints()
+	sink := traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[nodes-1])
+	probe.IntervalNs = 30_000
+	probe.Start(int64(30 * time.Millisecond))
+	n.Run(40 * time.Millisecond)
+	fab := n.OpticalFabric()
+	if fab.DropsNoCircuit != 0 {
+		t.Fatalf("routed traffic hit dark circuits %d times", fab.DropsNoCircuit)
+	}
+	if sink.RTT.N() == 0 {
+		t.Fatal("no probes returned")
+	}
+}
+
+// TestSliceAlignment: packets a switch transmits on an uplink always land
+// inside the slice their circuit is live in — the rotation/guard machinery
+// never leaks transmissions across slice boundaries.
+func TestSliceAlignment(t *testing.T) {
+	n, _, err := buildRandomRotor(0, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := n.Schedule()
+	bad := 0
+	n.Switches()[1].WireDelaySampler = func(ns int64, size int32) {
+		// Arrival time at the peer: subtracting the wire delay gives the
+		// TX trigger; both must be in the same slice.
+		rx := n.Engine().Now()
+		tx := rx - ns
+		if sched.SliceAt(rx) != sched.SliceAt(tx) {
+			bad++
+		}
+	}
+	eps := n.Endpoints()
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[1])
+	probe.IntervalNs = 10_000
+	probe.Start(int64(30 * time.Millisecond))
+	n.Run(40 * time.Millisecond)
+	if bad != 0 {
+		t.Fatalf("%d transmissions crossed a slice boundary", bad)
+	}
+}
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	cfg, err := LoadConfig("testdata/rotornet.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NodeNum != 8 || cfg.SliceDurationNs != 100_000 || !cfg.PushBack {
+		t.Fatalf("config = %+v", cfg)
+	}
+	if len(cfg.IPs) != 8 {
+		t.Fatalf("ips = %v", cfg.IPs)
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Hosts()) != 8 {
+		t.Fatal("wrong host count from JSON config")
+	}
+	if _, err := LoadConfig("testdata/missing.json"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
