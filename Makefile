@@ -1,0 +1,22 @@
+# Tier-1: what every change must keep green.
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+# Tier-2 gate: static analysis, the race detector over the engine and all
+# device/protocol packages, and the system-level invariant bundle. CI runs
+# this target. experiments/ is excluded from the race pass only because its
+# drivers regenerate entire paper tables (~10x slower under -race, past any
+# sane CI budget); it holds no goroutines of its own and is covered by the
+# tier-1 `make test`.
+check: build
+	go vet ./...
+	go test -race . ./cmd/... ./internal/...
+	go test -run TestInvariants .
+
+bench:
+	go test -run xxx -bench . -benchtime 3x .

@@ -3,6 +3,7 @@ package openoptics
 import (
 	"openoptics/internal/core"
 	"openoptics/internal/routing"
+	"openoptics/internal/telemetry"
 	"openoptics/internal/topo"
 )
 
@@ -40,6 +41,19 @@ type (
 	MultipathMode = core.MultipathMode
 	// RoutingOptions tunes the routing algorithms.
 	RoutingOptions = routing.Options
+
+	// Registry is the network-wide metrics registry (Net.Metrics).
+	Registry = telemetry.Registry
+	// MetricLabel is one name=value metric label for registry queries.
+	MetricLabel = telemetry.Label
+	// Tracer is the sampled in-band packet tracer (Net.Tracer).
+	Tracer = telemetry.Tracer
+	// PktTrace is one packet's finished in-band trace record.
+	PktTrace = core.PktTrace
+	// TraceHop is one hop of a PktTrace.
+	TraceHop = core.TraceHop
+	// DropReason names why a packet was dropped.
+	DropReason = core.DropReason
 )
 
 // Deployment option values (the LOOKUP and MULTIPATH arguments).

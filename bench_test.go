@@ -9,6 +9,7 @@ package openoptics_test
 // suite completes in minutes; set OPENOPTICS_FULL=1 for paper-scale runs.
 
 import (
+	"io"
 	"os"
 	"testing"
 
@@ -248,6 +249,17 @@ func BenchmarkTimeFlowLookup(b *testing.B) {
 func BenchmarkEndToEndPacketRate(b *testing.B) {
 	// Measures simulator throughput: packets pushed through a RotorNet
 	// from one host to another per wall second.
+	n := benchRotorNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Run(1_000_000) // 1 ms of virtual time per iteration
+	}
+}
+
+// benchRotorNet builds the 4-node RotorNet used by the end-to-end hot-path
+// benchmarks, with a line-rate UDP probe already injecting traffic.
+func benchRotorNet(b *testing.B) *openoptics.Net {
+	b.Helper()
 	n, err := openoptics.New(openoptics.Config{NodeNum: 4, Uplink: 1, SliceDurationNs: 100_000, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
@@ -267,8 +279,33 @@ func BenchmarkEndToEndPacketRate(b *testing.B) {
 	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[2])
 	probe.IntervalNs = 1_000
 	probe.Start(1 << 62)
+	return n
+}
+
+// Telemetry overhead guard: the same hot path with telemetry fully off and
+// with the registry plus 1%-sampled tracing attached. Compare ns/op of the
+// two in the bench output; the enabled variant should cost only a few
+// percent. The disabled variant also guards the instrumentation itself —
+// nil-check-only paths must not regress the baseline.
+
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	n := benchRotorNet(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.Run(1_000_000) // 1 ms of virtual time per iteration
+		n.Run(1_000_000)
 	}
+	b.ReportMetric(float64(n.Engine().Processed)/float64(b.N), "events/op")
+}
+
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	n := benchRotorNet(b)
+	n.Metrics()
+	tr := n.Tracer(0.01)
+	tr.SetSink(io.Discard)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Run(1_000_000)
+	}
+	b.ReportMetric(float64(n.Engine().Processed)/float64(b.N), "events/op")
+	b.ReportMetric(float64(tr.Finished)/float64(b.N), "traces/op")
 }

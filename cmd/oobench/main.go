@@ -10,10 +10,14 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
+
+	"openoptics"
 
 	"openoptics/experiments"
 )
@@ -56,20 +60,65 @@ func runners() []runner {
 }
 
 func main() {
+	// run's defers (trace flush, metrics write) must execute before the
+	// process exits, so the exit code travels through a return value.
+	os.Exit(run())
+}
+
+func run() (code int) {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale for fast runs")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	nodes := flag.Int("nodes", 0, "override endpoint-node count (0 = default)")
 	durMs := flag.Int("duration-ms", 0, "override measured window (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	metricsOut := flag.String("metrics-out", "", "write the last built network's metrics at exit (.json = JSON, else Prometheus text)")
+	traceOut := flag.String("trace-out", "", "write sampled in-band packet traces (all networks) as JSONL")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
 	flag.Parse()
+
+	// Experiments build their networks internally; the openoptics.Observe
+	// hook attaches telemetry to each one as it is constructed.
+	var lastNet *openoptics.Net
+	var traceW *bufio.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oobench:", err)
+			return 1
+		}
+		traceW = bufio.NewWriter(f)
+		defer func() { traceW.Flush(); f.Close() }()
+	}
+	if *metricsOut != "" || traceW != nil {
+		openoptics.Observe = func(n *openoptics.Net) {
+			lastNet = n
+			if *metricsOut != "" {
+				n.Metrics() // build before traffic so per-slice counters record
+			}
+			if traceW != nil {
+				n.Tracer(*traceSample).SetSink(traceW)
+			}
+		}
+		defer func() {
+			if *metricsOut == "" || lastNet == nil {
+				return
+			}
+			if err := writeMetrics(lastNet, *metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "oobench:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
 
 	rs := runners()
 	if *list {
 		for _, r := range rs {
 			fmt.Printf("%-20s %s\n", r.id, r.desc)
 		}
-		return
+		return 0
 	}
 	p := experiments.Params{Quick: *quick, Seed: *seed, Nodes: *nodes,
 		Duration: time.Duration(*durMs) * time.Millisecond}
@@ -86,7 +135,7 @@ func main() {
 	} else {
 		if _, ok := ids[*exp]; !ok {
 			fmt.Fprintf(os.Stderr, "oobench: unknown experiment %q (try -list)\n", *exp)
-			os.Exit(2)
+			return 2
 		}
 		todo = []string{*exp}
 	}
@@ -103,6 +152,23 @@ func main() {
 		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", id, r.desc, time.Since(start).Seconds(), res)
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeMetrics renders the registry to path: JSON when it ends in .json,
+// Prometheus text otherwise.
+func writeMetrics(n *openoptics.Net, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	if strings.HasSuffix(path, ".json") {
+		return n.Metrics().WriteJSON(w)
+	}
+	return n.Metrics().WritePrometheus(w)
 }

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"openoptics"
 	"openoptics/internal/arch"
+	"openoptics/internal/sim"
 	"openoptics/internal/traffic"
 )
 
@@ -30,6 +33,11 @@ func main() {
 	load := flag.Float64("load", 0.4, "trace replay load fraction")
 	sliceUs := flag.Int("slice-us", 100, "slice duration in µs")
 	seed := flag.Uint64("seed", 1, "seed")
+	metricsOut := flag.String("metrics-out", "", "write metrics at exit (.json = JSON, else Prometheus text)")
+	traceOut := flag.String("trace-out", "", "write sampled in-band packet traces as JSONL")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
+	profile := flag.Bool("profile", false, "collect per-handler-class wall-clock profiling")
+	progressMs := flag.Int("progress-ms", 0, "print a virtual/real speed report every N virtual ms")
 	flag.Parse()
 
 	o := arch.Options{
@@ -61,6 +69,29 @@ func main() {
 	eps := in.Net.Endpoints()
 	sink := traffic.NewSink(eps)
 	eng := in.Net.Engine()
+
+	// Telemetry wiring. The registry is built before traffic so per-slice
+	// drop counters record from the first packet.
+	if *metricsOut != "" {
+		in.Net.Metrics()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		check(err)
+		w := bufio.NewWriter(f)
+		defer func() { w.Flush(); f.Close() }()
+		in.Net.Tracer(*traceSample).SetSink(w)
+	}
+	if *profile {
+		eng.EnableProfiling(true)
+	}
+	if *progressMs > 0 {
+		eng.ReportProgress(int64(*progressMs)*1e6, func(p sim.Progress) bool {
+			fmt.Fprintf(os.Stderr, "progress: virtual %.1f ms, %d events, %.3fx real time\n",
+				float64(p.VirtualNs)/1e6, p.Events, p.Ratio)
+			return true
+		})
+	}
 
 	var report func()
 	switch *workload {
@@ -118,6 +149,31 @@ func main() {
 	fab := in.Net.OpticalFabric()
 	fmt.Printf("optical fabric: forwarded=%d drops{guard=%d nocircuit=%d}\n",
 		fab.Forwarded, fab.DropsGuard, fab.DropsNoCircuit)
+	if *profile {
+		for _, cs := range eng.ProfileStats() {
+			fmt.Printf("profile: %-16s %10d events %12.3f ms\n",
+				cs.Class, cs.Count, float64(cs.WallNs)/1e6)
+		}
+	}
+	if *metricsOut != "" {
+		check(writeMetrics(in.Net, *metricsOut))
+	}
+}
+
+// writeMetrics renders the registry to path: JSON when it ends in .json,
+// Prometheus text otherwise.
+func writeMetrics(n *openoptics.Net, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	if strings.HasSuffix(path, ".json") {
+		return n.Metrics().WriteJSON(w)
+	}
+	return n.Metrics().WritePrometheus(w)
 }
 
 func buildArch(name string, o arch.Options) (*arch.Instance, error) {

@@ -108,6 +108,8 @@ func buildNet(o Options, cfg openoptics.Config) (*openoptics.Net, error) {
 	if o.Tune != nil {
 		o.Tune(&cfg)
 	}
+	// Telemetry attachment happens inside openoptics.New via the
+	// package-level openoptics.Observe hook.
 	return openoptics.New(cfg)
 }
 

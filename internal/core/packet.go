@@ -127,6 +127,12 @@ type Packet struct {
 
 	// TTL guards against forwarding loops in misconfigured tables.
 	TTL int8
+
+	// Trace carries the in-band telemetry record when this packet's flow
+	// is sampled by an attached Tracer; nil (the common case) means the
+	// packet is untraced and every telemetry site skips it with one
+	// pointer check.
+	Trace *PktTrace
 }
 
 // HeaderBytes is the fixed per-packet header overhead (Ethernet + IP + UDP

@@ -1,0 +1,80 @@
+package core
+
+// This file defines the in-band trace record carried on Packet when the
+// packet's flow is sampled by a telemetry.Tracer (INT-style per-hop
+// telemetry, §5.2 infra services). The types live in core — not in
+// internal/telemetry — because every device that forwards a packet appends
+// to the record, and core is the one package all of them already import.
+
+// DropReason names why a packet left the network without being delivered.
+// The taxonomy is shared by switch, fabric, and exporter code so that
+// per-slice drop counters and trace dispositions agree; see the
+// "Observability" section of EXPERIMENTS.md for interpretation.
+type DropReason string
+
+// Drop reasons. Switch-side reasons correspond one-to-one to the
+// switchsim.Counters Drops* fields; fabric-side reasons to the fabric drop
+// counters.
+const (
+	DropNone      DropReason = ""
+	DropNoRoute   DropReason = "no_route"      // no time-flow table entry and no fallback circuit
+	DropBuffer    DropReason = "buffer_full"   // shared packet buffer exhausted
+	DropWrap      DropReason = "calendar_wrap" // rank beyond calendar depth without offloading
+	DropCongest   DropReason = "congestion"    // congestion detection with drop (or exhausted trim/defer) response
+	DropTTL       DropReason = "ttl_expired"   // forwarding loop guard
+	DropGuard     DropReason = "guardband"     // optical fabric: arrived in the reconfiguration window
+	DropNoCircuit DropReason = "no_circuit"    // optical fabric: no live circuit on the ingress port
+	DropElecQueue DropReason = "elec_queue"    // electrical fabric: output queue full
+	DropElecRoute DropReason = "elec_no_route" // electrical fabric: destination not attached
+)
+
+// Dispositions recorded on a finished trace.
+const (
+	DispDelivered = "delivered" // reached the destination host NIC
+	DispDropped   = "dropped"   // left the network; Reason says why
+)
+
+// TraceHop is one per-hop record appended by the device that forwarded the
+// packet: where it was, which way it left, in which slices, and how deep
+// the chosen queue was at enqueue time.
+type TraceHop struct {
+	// TimeNs is the virtual time the forwarding decision was made.
+	TimeNs int64 `json:"t_ns"`
+	// Node is the endpoint node making the decision (NoNode for fabric
+	// hops).
+	Node NodeID `json:"node"`
+	// InPort and Egress are the node-local ingress/egress ports.
+	InPort PortID `json:"in_port"`
+	Egress PortID `json:"egress_port"`
+	// ArrSlice and DepSlice are the arrival and planned departure slices.
+	ArrSlice Slice `json:"arr_slice"`
+	DepSlice Slice `json:"dep_slice"`
+	// QueueBytes is the egress calendar queue's occupancy at enqueue time,
+	// before this packet was added.
+	QueueBytes int64 `json:"queue_bytes"`
+}
+
+// PktTrace is the in-band trace carried by a sampled packet and flushed as
+// one JSONL record at delivery or drop.
+type PktTrace struct {
+	PktID   uint64 `json:"pkt_id"`
+	Flow    string `json:"flow"`
+	SrcNode NodeID `json:"src_node"`
+	DstNode NodeID `json:"dst_node"`
+	Size    int32  `json:"size"`
+	// StartNs is the virtual time the trace was attached (first
+	// transmission at the source NIC).
+	StartNs int64      `json:"start_ns"`
+	Hops    []TraceHop `json:"hops"`
+
+	// Final disposition, filled by Tracer.Finish.
+	Disposition string     `json:"disposition"`
+	Reason      DropReason `json:"reason,omitempty"`
+	// EndNode is where the packet was delivered or dropped (NoNode when
+	// the drop happened inside a fabric).
+	EndNode NodeID `json:"end_node"`
+	EndNs   int64  `json:"end_ns"`
+}
+
+// AddHop appends one hop record.
+func (t *PktTrace) AddHop(h TraceHop) { t.Hops = append(t.Hops, h) }

@@ -3,6 +3,7 @@ package fabric
 import (
 	"openoptics/internal/core"
 	"openoptics/internal/sim"
+	"openoptics/internal/telemetry"
 )
 
 // ElectricalFabric is a packet-switched fabric device — the testbed's
@@ -24,6 +25,10 @@ type ElectricalFabric struct {
 	DropsQueue   uint64
 	DropsNoRoute uint64
 	Forwarded    uint64
+
+	// Tracer, when set, flushes in-band traces of sampled packets the
+	// fabric drops (queue overflow, unroutable destination).
+	Tracer *telemetry.Tracer
 }
 
 type elecPort struct {
@@ -61,13 +66,15 @@ func (f *ElectricalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	fp, ok := f.byNode[pkt.DstNode]
 	if !ok {
 		f.DropsNoRoute++
+		f.traceDrop(pkt, core.DropElecRoute)
 		return
 	}
 	p := f.ports[fp]
-	f.eng.After(f.PipelineDelay, func() {
+	f.eng.AfterClass(f.PipelineDelay, sim.ClassFabricElec, func() {
 		// Drop-tail decision at enqueue time, after the pipeline.
 		if p.bytes+int64(pkt.Size) > f.queueCap() {
 			f.DropsQueue++
+			f.traceDrop(pkt, core.DropElecQueue)
 			return
 		}
 		p.fifo = append(p.fifo, pkt)
@@ -91,10 +98,17 @@ func (f *ElectricalFabric) drain(p *elecPort) {
 	ser := p.link.SerializationDelay(pkt.Size)
 	p.link.Send(f, pkt)
 	f.Forwarded++
-	f.eng.After(ser, func() {
+	f.eng.AfterClass(ser, sim.ClassFabricElec, func() {
 		p.busy = false
 		f.drain(p)
 	})
+}
+
+// traceDrop flushes a sampled packet's trace with a fabric-side drop.
+func (f *ElectricalFabric) traceDrop(pkt *core.Packet, reason core.DropReason) {
+	if f.Tracer != nil && pkt.Trace != nil {
+		f.Tracer.Drop(pkt, reason, core.NoNode, f.eng.Now())
+	}
 }
 
 // MaxQueueBytes returns the high-water mark of the port serving node.

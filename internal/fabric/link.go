@@ -105,7 +105,7 @@ func (l *Link) send(from Device, pkt *core.Packet, cutThrough bool) {
 		arrive = start + l.PropDelay
 	}
 	dev, port := to.Dev, to.Port
-	l.eng.At(arrive, func() { dev.Receive(pkt, port) })
+	l.eng.AtClass(arrive, sim.ClassLinkDeliver, func() { dev.Receive(pkt, port) })
 }
 
 // Other returns the endpoint opposite to the given device.

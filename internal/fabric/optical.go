@@ -7,6 +7,7 @@ import (
 	"openoptics/internal/controller"
 	"openoptics/internal/core"
 	"openoptics/internal/sim"
+	"openoptics/internal/telemetry"
 )
 
 // OpticalFabric is the emulated optical network fabric (§5.3): it abstracts
@@ -49,6 +50,10 @@ type OpticalFabric struct {
 	DropsGuard     uint64
 	DropsNoCircuit uint64
 	Forwarded      uint64
+
+	// Tracer, when set, flushes in-band traces of sampled packets the
+	// fabric drops (guardband, blackout, no live circuit).
+	Tracer *telemetry.Tracer
 }
 
 type attachKey struct {
@@ -149,10 +154,12 @@ func (f *OpticalFabric) ApplyProgram(prog *controller.OCSProgram, sliceDur, guar
 func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	if f.sched == nil {
 		f.DropsNoCircuit++
+		f.traceDrop(pkt, core.DropNoCircuit)
 		return
 	}
 	if f.blockUntil > 0 && f.eng.Now() < f.blockUntil {
 		f.DropsGuard++ // reconfiguration blackout
+		f.traceDrop(pkt, core.DropGuard)
 		return
 	}
 	now := f.eng.Now() + f.ClockOffset
@@ -166,6 +173,7 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 		sliceStart := now - now%int64(f.sched.SliceDuration)
 		if now-sliceStart < guard {
 			f.DropsGuard++
+			f.traceDrop(pkt, core.DropGuard)
 			return
 		}
 	}
@@ -175,9 +183,22 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	}
 	if !ok {
 		f.DropsNoCircuit++
+		f.traceDrop(pkt, core.DropNoCircuit)
 		return
 	}
 	link := f.ports[out]
 	f.Forwarded++
-	f.eng.After(f.CutThroughDelay, func() { link.SendCutThrough(f, pkt) })
+	f.eng.AfterClass(f.CutThroughDelay, sim.ClassFabricOptical, func() { link.SendCutThrough(f, pkt) })
 }
+
+// traceDrop flushes a sampled packet's trace with a fabric-side drop. The
+// fabric is not an endpoint node, so the end node is NoNode.
+func (f *OpticalFabric) traceDrop(pkt *core.Packet, reason core.DropReason) {
+	if f.Tracer != nil && pkt.Trace != nil {
+		f.Tracer.Drop(pkt, reason, core.NoNode, f.eng.Now())
+	}
+}
+
+// Links returns the attached fabric-side links in port order, for
+// utilization export.
+func (f *OpticalFabric) Links() []*Link { return f.ports }

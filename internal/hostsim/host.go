@@ -11,6 +11,7 @@ import (
 	"openoptics/internal/core"
 	"openoptics/internal/fabric"
 	"openoptics/internal/sim"
+	"openoptics/internal/telemetry"
 )
 
 // Config parameterizes a host.
@@ -99,6 +100,10 @@ type Host struct {
 	// before traffic arrives.
 	Handler func(pkt *core.Packet)
 
+	// Tracer, when set, starts in-band traces for sampled flows at NIC
+	// transmit and finishes them at delivery. One nil check when unset.
+	Tracer *telemetry.Tracer
+
 	// TX machinery.
 	ready   []txItem                 // sendable now
 	held    map[core.NodeID][]txItem // held per destination node
@@ -142,7 +147,7 @@ func (h *Host) AttachLink(l *fabric.Link) { h.link = l }
 // Start arms periodic machinery (traffic reports).
 func (h *Host) Start() {
 	if iv := h.Cfg.ReportInterval; iv > 0 {
-		h.eng.Every(iv, iv, func() bool {
+		h.eng.EveryClass(iv, iv, sim.ClassHostReport, func() bool {
 			h.sendReports()
 			return true
 		})
@@ -221,9 +226,12 @@ func (h *Host) pump() {
 	h.busy = true
 	size := it.pkt.Size
 	h.Counters.TxPkts++
+	if h.Tracer != nil {
+		h.Tracer.Start(it.pkt, h.eng.Now())
+	}
 	h.link.Send(h, it.pkt)
 	ser := h.link.SerializationDelay(size)
-	h.eng.After(ser, func() {
+	h.eng.AfterClass(ser, sim.ClassHostTx, func() {
 		h.busy = false
 		h.queuedB -= int64(size)
 		h.wakeWaiters()
@@ -289,6 +297,9 @@ func (h *Host) Receive(pkt *core.Packet, port core.PortID) {
 		h.onPushBack(pkt)
 		return
 	}
+	if h.Tracer != nil && pkt.Trace != nil {
+		h.Tracer.Deliver(pkt, h.Cfg.Node, h.eng.Now())
+	}
 	if h.Handler != nil {
 		h.Handler(pkt)
 	}
@@ -307,7 +318,7 @@ func (h *Host) onSignal(pkt *core.Packet) {
 	sd := int64(h.Cfg.Schedule.SliceDuration)
 	start := h.Cfg.Schedule.SliceStart(h.localNow(), pkt.CtrlSlice)
 	h.circuitUntil[dst] = start + sd
-	h.eng.At(maxI64(start-h.Cfg.ClockOffset, h.eng.Now()), func() { h.release(dst) })
+	h.eng.AtClass(maxI64(start-h.Cfg.ClockOffset, h.eng.Now()), sim.ClassHostTx, func() { h.release(dst) })
 }
 
 // onPushBack pauses traffic to the subject destination until the subject
@@ -322,7 +333,7 @@ func (h *Host) onPushBack(pkt *core.Packet) {
 		h.pausedUntil[pkt.CtrlNode] = until
 	}
 	dst := pkt.CtrlNode
-	h.eng.At(maxI64(until-h.Cfg.ClockOffset, h.eng.Now()), func() { h.release(dst) })
+	h.eng.AtClass(maxI64(until-h.Cfg.ClockOffset, h.eng.Now()), sim.ClassHostTx, func() { h.release(dst) })
 }
 
 // park stores an offloaded packet and schedules its return shortly before
@@ -342,7 +353,7 @@ func (h *Host) park(pkt *core.Packet) {
 	if j := h.Cfg.ReturnJitterNs; j > 0 {
 		ret += int64(h.rng.Uint64() % uint64(j))
 	}
-	h.eng.At(maxI64(ret, h.eng.Now()), func() {
+	h.eng.AtClass(maxI64(ret, h.eng.Now()), sim.ClassHostOffload, func() {
 		h.parked--
 		h.Counters.Returned++
 		// Returns bypass the segment queue: the agent is a dedicated

@@ -23,6 +23,13 @@ type Engine struct {
 	halted bool
 	// Processed counts executed events (diagnostics).
 	Processed uint64
+
+	// Profiling state (profile.go): per-class event counts are always
+	// collected (one array increment per event); wall-clock accounting
+	// only while profiling is enabled.
+	classCount [NumClasses]uint64
+	classWall  [NumClasses]int64
+	profiling  bool
 }
 
 // New returns an engine with the clock at zero.
@@ -36,7 +43,11 @@ func (e *Engine) Now() int64 { return e.now }
 // At schedules fn to run at virtual time t. Scheduling in the past is an
 // error in device logic; it is clamped to "now" to keep the run going but
 // flagged via panic in race-free code paths during testing.
-func (e *Engine) At(t int64, fn func()) {
+func (e *Engine) At(t int64, fn func()) { e.AtClass(t, ClassOther, fn) }
+
+// AtClass schedules fn at time t under a handler class, so the profiler
+// can attribute its executions and wall time to a subsystem.
+func (e *Engine) AtClass(t int64, class Class, fn func()) {
 	if fn == nil {
 		panic("sim: nil event fn")
 	}
@@ -44,15 +55,18 @@ func (e *Engine) At(t int64, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, &event{t: t, seq: e.seq, class: class, fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d int64, fn func()) {
+func (e *Engine) After(d int64, fn func()) { e.AfterClass(d, ClassOther, fn) }
+
+// AfterClass schedules fn d nanoseconds from now under a handler class.
+func (e *Engine) AfterClass(d int64, class Class, fn func()) {
 	if d < 0 {
 		d = 0
 	}
-	e.At(e.now+d, fn)
+	e.AtClass(e.now+d, class, fn)
 }
 
 // AfterDur schedules fn to run after a time.Duration.
@@ -62,6 +76,11 @@ func (e *Engine) AfterDur(d time.Duration, fn func()) { e.After(int64(d), fn) }
 // returns false or the engine halts. It models periodic device machinery —
 // the on-chip packet generator, traffic collection, flow aging scans.
 func (e *Engine) Every(start, interval int64, fn func() bool) {
+	e.EveryClass(start, interval, ClassOther, fn)
+}
+
+// EveryClass is Every under a handler class.
+func (e *Engine) EveryClass(start, interval int64, class Class, fn func() bool) {
 	if interval <= 0 {
 		panic(fmt.Sprintf("sim: non-positive interval %d", interval))
 	}
@@ -75,9 +94,9 @@ func (e *Engine) Every(start, interval int64, fn func() bool) {
 			return
 		}
 		next += interval
-		e.At(next, tick)
+		e.AtClass(next, class, tick)
 	}
-	e.At(start, tick)
+	e.AtClass(start, class, tick)
 }
 
 // Run executes events until the queue drains or Halt is called.
@@ -98,7 +117,14 @@ func (e *Engine) RunUntil(deadline int64) {
 		heap.Pop(&e.events)
 		e.now = ev.t
 		e.Processed++
-		ev.fn()
+		e.classCount[ev.class]++
+		if e.profiling {
+			start := time.Now()
+			ev.fn()
+			e.classWall[ev.class] += time.Since(start).Nanoseconds()
+		} else {
+			ev.fn()
+		}
 	}
 	// The queue drained (or halted): virtual time still passes to the
 	// deadline so callers observe a consistent clock.
@@ -118,9 +144,10 @@ func (e *Engine) Halt() { e.halted = true }
 func (e *Engine) Pending() int { return len(e.events) }
 
 type event struct {
-	t   int64
-	seq uint64
-	fn  func()
+	t     int64
+	seq   uint64
+	class Class
+	fn    func()
 }
 
 type eventHeap []*event

@@ -14,11 +14,12 @@ import (
 // exactness for O(1) memory — right for high-volume signals like per-packet
 // buffer occupancy. Values beyond max clamp into the last bin.
 type Histogram struct {
-	bins  []uint64
-	max   float64
-	count uint64
-	sum   float64
-	maxV  float64
+	bins     []uint64
+	max      float64
+	count    uint64
+	sum      float64
+	maxV     float64
+	rejected uint64
 }
 
 // NewHistogram creates a histogram with n bins over [0, max).
@@ -29,8 +30,14 @@ func NewHistogram(n int, max float64) *Histogram {
 	return &Histogram{bins: make([]uint64, n), max: max}
 }
 
-// Add records one observation.
+// Add records one observation. Non-finite values (NaN, ±Inf) are rejected
+// — one would poison the running sum and every quantile after it — and
+// tallied in Rejected.
 func (h *Histogram) Add(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.rejected++
+		return
+	}
 	if v < 0 {
 		v = 0
 	}
@@ -48,6 +55,9 @@ func (h *Histogram) Add(v float64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
+
+// Rejected returns how many non-finite observations Add refused.
+func (h *Histogram) Rejected() uint64 { return h.rejected }
 
 // Mean returns the observation mean (0 when empty).
 func (h *Histogram) Mean() float64 {

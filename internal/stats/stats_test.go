@@ -166,6 +166,96 @@ func TestHistogramVsSampleProperty(t *testing.T) {
 	}
 }
 
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Add(50)
+	h.Add(math.NaN())
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1 (non-finite must not count)", h.Count())
+	}
+	if h.Rejected() != 3 {
+		t.Fatalf("rejected = %d, want 3", h.Rejected())
+	}
+	if h.Mean() != 50 {
+		t.Fatalf("mean = %g, non-finite values poisoned the sum", h.Mean())
+	}
+	if q := h.Quantile(0.5); math.IsNaN(q) || q != 60 {
+		t.Fatalf("q50 = %g, want 60 (upper edge of bin holding 50)", q)
+	}
+	if h.Max() != 50 {
+		t.Fatalf("max = %g", h.Max())
+	}
+}
+
+func TestHistogramSingleBin(t *testing.T) {
+	h := NewHistogram(1, 10)
+	h.Add(1)
+	h.Add(9)
+	h.Add(42) // clamps into the only bin
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Every quantile of a one-bin histogram is the bin's upper edge.
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 10 {
+			t.Fatalf("Quantile(%g) = %g, want 10", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(10, 100)
+	h.Add(35) // lands in bin [30,40)
+	h.Add(75) // lands in bin [70,80)
+	// q=0 clamps to the first observation's bin upper edge.
+	if got := h.Quantile(0); got != 40 {
+		t.Errorf("Quantile(0) = %g, want 40", got)
+	}
+	if got := h.Quantile(1); got != 80 {
+		t.Errorf("Quantile(1) = %g, want 80", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(-3); got != 40 {
+		t.Errorf("Quantile(-3) = %g, want 40", got)
+	}
+	if got := h.Quantile(7); got != 80 {
+		t.Errorf("Quantile(7) = %g, want 80", got)
+	}
+}
+
+func TestSampleCDFEdges(t *testing.T) {
+	s := NewSample()
+	s.Add(1)
+	s.Add(2)
+	// Fewer than 2 requested points cannot describe a distribution.
+	if s.CDF(1) != nil || s.CDF(0) != nil || s.CDF(-4) != nil {
+		t.Fatal("CDF(n<2) should be nil even on a non-empty sample")
+	}
+	// Duplicates: P stays strictly increasing, V is non-decreasing (repeats
+	// allowed where the same value spans several probability steps).
+	d := NewSample()
+	for _, v := range []float64{5, 5, 5, 5, 1} {
+		d.Add(v)
+	}
+	cdf := d.CDF(5)
+	if len(cdf) != 5 {
+		t.Fatalf("cdf len = %d", len(cdf))
+	}
+	if cdf[0].V != 1 || cdf[4].V != 5 || cdf[4].P != 1 {
+		t.Fatalf("cdf endpoints = %+v .. %+v", cdf[0], cdf[4])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].V < cdf[i-1].V {
+			t.Fatalf("V not monotone at %d: %+v", i, cdf)
+		}
+		if cdf[i].P <= cdf[i-1].P {
+			t.Fatalf("P not strictly increasing at %d: %+v", i, cdf)
+		}
+	}
+}
+
 func TestSummaryFormat(t *testing.T) {
 	s := NewSample()
 	s.Add(1)

@@ -1,0 +1,15 @@
+package switchsim
+
+import "reflect"
+
+// Add accumulates o into c. It reflects over the struct's fields so a
+// newly added counter is aggregated automatically — forgetting to extend a
+// hand-written sum was a real bug class here. Every field must be uint64;
+// anything else panics (and is caught by TestCountersAddCoversAllFields).
+func (c *Counters) Add(o *Counters) {
+	dst := reflect.ValueOf(c).Elem()
+	src := reflect.ValueOf(o).Elem()
+	for i := 0; i < dst.NumField(); i++ {
+		dst.Field(i).SetUint(dst.Field(i).Uint() + src.Field(i).Uint())
+	}
+}

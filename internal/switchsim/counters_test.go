@@ -1,0 +1,49 @@
+package switchsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCountersAddCoversAllFields guards the reflection-based Counters.Add:
+// every field must be an exported uint64 (so Add and the telemetry registry
+// can see it) and Add must sum each one. A new field added to Counters
+// without matching these rules fails here, not silently in aggregation.
+func TestCountersAddCoversAllFields(t *testing.T) {
+	typ := reflect.TypeOf(Counters{})
+	if typ.NumField() == 0 {
+		t.Fatal("Counters has no fields")
+	}
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() {
+			t.Errorf("field %s is unexported; Add and metrics export skip it", f.Name)
+		}
+		if f.Type.Kind() != reflect.Uint64 {
+			t.Errorf("field %s is %s, want uint64", f.Name, f.Type)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Give every field a distinct value in both operands so a swapped or
+	// skipped field cannot cancel out.
+	var a, b Counters
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < typ.NumField(); i++ {
+		av.Field(i).SetUint(uint64(i + 1))
+		bv.Field(i).SetUint(uint64((i + 1) * 1000))
+	}
+	a.Add(&b)
+	for i := 0; i < typ.NumField(); i++ {
+		want := uint64(i+1) + uint64((i+1)*1000)
+		if got := av.Field(i).Uint(); got != want {
+			t.Errorf("field %s = %d after Add, want %d", typ.Field(i).Name, got, want)
+		}
+		if got := bv.Field(i).Uint(); got != uint64((i+1)*1000) {
+			t.Errorf("Add mutated its argument: field %s = %d", typ.Field(i).Name, got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package switchsim
 
 import (
 	"openoptics/internal/core"
+	"openoptics/internal/sim"
 )
 
 // This file is the ingress pipeline (Fig. 6): time-flow table lookup with
@@ -18,7 +19,7 @@ func (s *Switch) Receive(pkt *core.Packet, inPort core.PortID) {
 			s.WireDelaySampler(s.eng.Now()-pkt.Enqueued, pkt.Size)
 		}
 	}
-	s.eng.After(s.Cfg.pipeline(), func() { s.process(pkt, inPort) })
+	s.eng.AfterClass(s.Cfg.pipeline(), sim.ClassSwitchIngress, func() { s.process(pkt, inPort) })
 }
 
 func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
@@ -40,12 +41,17 @@ func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
 	// calendar system and go straight down.
 	if pkt.DstNode == s.Cfg.ID {
 		s.Counters.Delivered++
+		if pkt.Trace != nil {
+			if p, ok := s.downByHost[pkt.Flow.DstHost]; ok {
+				s.traceHop(pkt, inPort, p.id, arr, core.WildcardSlice, p.bytes)
+			}
+		}
 		s.toHost(pkt.Flow.DstHost, pkt)
 		return
 	}
 
 	if pkt.TTL <= 0 {
-		s.Counters.DropsTTL++
+		s.dropPkt(pkt, core.DropTTL)
 		return
 	}
 	pkt.TTL--
@@ -69,11 +75,11 @@ func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
 			if s.table.Len() > 0 && s.ix != nil {
 				if dep2, eg2, ok2 := s.earliestCircuit(pkt.DstNode, arr); ok2 {
 					s.Counters.Fallbacks++
-					s.forward(pkt, eg2, dep2, arr)
+					s.forward(pkt, inPort, eg2, dep2, arr)
 					return
 				}
 			}
-			s.Counters.DropsNoRoute++
+			s.dropPkt(pkt, core.DropNoRoute)
 			return
 		}
 		egress, dep = res.Egress, res.DepSlice
@@ -82,17 +88,18 @@ func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
 			pkt.SRIdx = 1
 		}
 	}
-	s.forward(pkt, egress, dep, arr)
+	s.forward(pkt, inPort, egress, dep, arr)
 }
 
 // forward places the packet on the egress port's queue system.
-func (s *Switch) forward(pkt *core.Packet, egress core.PortID, dep core.Slice, arr core.Slice) {
+func (s *Switch) forward(pkt *core.Packet, inPort, egress core.PortID, dep core.Slice, arr core.Slice) {
 	p, ok := s.byPort[egress]
 	if !ok {
-		s.Counters.DropsNoRoute++
+		s.dropPkt(pkt, core.DropNoRoute)
 		return
 	}
 	if p.kind != portUplink || !s.Cfg.calendarOn() {
+		s.traceHop(pkt, inPort, egress, arr, dep, p.bytes)
 		s.enqueue(p, 0, pkt)
 		return
 	}
@@ -106,17 +113,18 @@ func (s *Switch) forward(pkt *core.Packet, egress core.PortID, dep core.Slice, a
 	}
 	if rank >= k {
 		// Wrap-around would alias an earlier slice: never enqueue.
-		s.Counters.DropsWrap++
+		s.dropPkt(pkt, core.DropWrap)
 		return
 	}
 	qi := (s.active + rank) % k
 	if s.Cfg.CongestionDetection {
 		if s.queueFull(p, qi, rank, pkt.Size) {
-			s.congested(pkt, p, dep, arr, rank)
+			s.congested(pkt, inPort, p, dep, arr, rank)
 			return
 		}
 	}
 	pkt.Flags &^= core.FlagOffloaded
+	s.traceHop(pkt, inPort, egress, arr, dep, p.queues[qi].bytes)
 	s.enqueue(p, qi, pkt)
 }
 
@@ -158,7 +166,7 @@ func (s *Switch) admissible(p *outPort, rank int) int64 {
 // congested applies the architecture's congestion response and, if
 // enabled, originates a traffic push-back message toward the sender
 // switch (§5.2).
-func (s *Switch) congested(pkt *core.Packet, p *outPort, dep, arr core.Slice, rank int) {
+func (s *Switch) congested(pkt *core.Packet, inPort core.PortID, p *outPort, dep, arr core.Slice, rank int) {
 	if s.Cfg.PushBack {
 		s.sendPushBack(pkt.SrcNode, pkt.DstNode, dep)
 	}
@@ -171,10 +179,12 @@ func (s *Switch) congested(pkt *core.Packet, p *outPort, dep, arr core.Slice, ra
 			pkt.Flags |= core.FlagTrimmed
 			s.Counters.Trims++
 			k := s.effQueues()
-			s.enqueue(p, (s.active+rank)%k, pkt)
+			qi := (s.active + rank) % k
+			s.traceHop(pkt, inPort, p.id, arr, dep, p.queues[qi].bytes)
+			s.enqueue(p, qi, pkt)
 			return
 		}
-		s.Counters.DropsCongest++
+		s.dropPkt(pkt, core.DropCongest)
 	case RespDefer:
 		// Defer to the next time slice that can still fit the packet
 		// (UCMP/HOHO slice-miss handling).
@@ -183,17 +193,24 @@ func (s *Switch) congested(pkt *core.Packet, p *outPort, dep, arr core.Slice, ra
 		if s.Cfg.OffloadRank > 0 && s.Cfg.OffloadRank < lim {
 			lim = s.Cfg.OffloadRank
 		}
+		ns := 1
+		if s.Cfg.calendarOn() {
+			ns = s.Cfg.Schedule.NumSlices
+		}
 		for r := rank + 1; r < lim; r++ {
 			qi := (s.active + r) % k
 			if !s.queueFull(p, qi, r, pkt.Size) {
 				s.Counters.Defers++
+				// The deferred departure slice is r ranks after arrival.
+				dep2 := core.Slice((int(arr) + r) % ns)
+				s.traceHop(pkt, inPort, p.id, arr, dep2, p.queues[qi].bytes)
 				s.enqueue(p, qi, pkt)
 				return
 			}
 		}
-		s.Counters.DropsCongest++
+		s.dropPkt(pkt, core.DropCongest)
 	default:
-		s.Counters.DropsCongest++
+		s.dropPkt(pkt, core.DropCongest)
 	}
 }
 
@@ -226,7 +243,7 @@ func (s *Switch) sendPushBack(srcNode, dstNode core.NodeID, slice core.Slice) {
 // source route; the host returns it shortly before the slice (§5.2).
 func (s *Switch) offload(pkt *core.Packet, egress core.PortID, dep core.Slice) {
 	if len(s.hosts) == 0 {
-		s.Counters.DropsWrap++
+		s.dropPkt(pkt, core.DropWrap)
 		return
 	}
 	h := s.hosts[s.rng.Intn(len(s.hosts))]
@@ -291,10 +308,10 @@ func (s *Switch) handleCtrl(pkt *core.Packet, inPort core.PortID) {
 		pkt.ArrSlice = arr
 		if pkt.SRIdx < len(pkt.SR) {
 			h, _ := pkt.NextSR()
-			s.forward(pkt, h.Egress, h.DepSlice, arr)
+			s.forward(pkt, inPort, h.Egress, h.DepSlice, arr)
 			return
 		}
-		s.Counters.DropsNoRoute++
+		s.dropPkt(pkt, core.DropNoRoute)
 	case core.CtrlReport:
 		// Host traffic-collection report: pending bytes toward a
 		// destination node, merged into the collect() matrix.

@@ -14,12 +14,14 @@ package switchsim
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"openoptics/internal/core"
 	"openoptics/internal/fabric"
 	"openoptics/internal/sim"
 	"openoptics/internal/stats"
+	"openoptics/internal/telemetry"
 )
 
 // Response selects the architecture's congestion reaction when a packet's
@@ -228,6 +230,104 @@ type Switch struct {
 	bufferHist *stats.Histogram
 	Counters   Counters
 	started    bool
+
+	// Tracer, when set, receives in-band per-hop trace records for
+	// sampled packets (telemetry). Hot-path cost when unset: one nil
+	// check per decision point.
+	Tracer *telemetry.Tracer
+	// met holds the pre-resolved registry counters (per-slice drop
+	// attribution); nil until AttachMetrics.
+	met *switchMetrics
+}
+
+// switchMetrics is the switch's pre-resolved slice of the metrics
+// registry: drop counters labelled {node, reason, slice} and slice-miss
+// counters labelled {node, slice}, resolved once at attach time so the
+// hot path is a pointer increment.
+type switchMetrics struct {
+	drops  map[core.DropReason][]*telemetry.Counter
+	misses []*telemetry.Counter
+}
+
+func (m *switchMetrics) drop(r core.DropReason, sl core.Slice) {
+	arr := m.drops[r]
+	if len(arr) == 0 {
+		return
+	}
+	i := 0
+	if !sl.IsWildcard() && int(sl) >= 0 {
+		i = int(sl) % len(arr)
+	}
+	arr[i].Inc()
+}
+
+// switchDropReasons is the closed set of switch-side drop reasons,
+// mirrored by the Counters Drops* fields.
+var switchDropReasons = []core.DropReason{
+	core.DropNoRoute, core.DropBuffer, core.DropWrap, core.DropCongest, core.DropTTL,
+}
+
+// AttachMetrics registers this switch's per-slice drop and slice-miss
+// counters with the registry and enables their hot-path recording. Call
+// after DeployTopo has fixed the cycle length.
+func (s *Switch) AttachMetrics(reg *telemetry.Registry) {
+	node := telemetry.L("node", strconv.Itoa(int(s.Cfg.ID)))
+	ns := 1
+	if s.Cfg.calendarOn() {
+		ns = s.Cfg.Schedule.NumSlices
+	}
+	m := &switchMetrics{drops: make(map[core.DropReason][]*telemetry.Counter, len(switchDropReasons))}
+	for _, r := range switchDropReasons {
+		arr := make([]*telemetry.Counter, ns)
+		for i := range arr {
+			arr[i] = reg.Counter("oo_switch_drops_total",
+				"Packets dropped at switches, by reason and arrival slice.",
+				node, telemetry.L("reason", string(r)), telemetry.L("slice", strconv.Itoa(i)))
+		}
+		m.drops[r] = arr
+	}
+	m.misses = make([]*telemetry.Counter, ns)
+	for i := range m.misses {
+		m.misses[i] = reg.Counter("oo_switch_slice_misses_total",
+			"Packets still queued when their departure slice ended.",
+			node, telemetry.L("slice", strconv.Itoa(i)))
+	}
+	s.met = m
+}
+
+// dropPkt is the single exit point for switch-side drops: it bumps the
+// aggregate counter for the reason, attributes the drop to the packet's
+// arrival slice in the registry, and flushes the packet's in-band trace.
+func (s *Switch) dropPkt(pkt *core.Packet, reason core.DropReason) {
+	switch reason {
+	case core.DropNoRoute:
+		s.Counters.DropsNoRoute++
+	case core.DropBuffer:
+		s.Counters.DropsBuffer++
+	case core.DropWrap:
+		s.Counters.DropsWrap++
+	case core.DropCongest:
+		s.Counters.DropsCongest++
+	case core.DropTTL:
+		s.Counters.DropsTTL++
+	}
+	if s.met != nil {
+		s.met.drop(reason, pkt.ArrSlice)
+	}
+	if s.Tracer != nil && pkt.Trace != nil {
+		s.Tracer.Drop(pkt, reason, s.Cfg.ID, s.eng.Now())
+	}
+}
+
+// traceHop appends one in-band hop record to a sampled packet.
+func (s *Switch) traceHop(pkt *core.Packet, inPort, egress core.PortID, arr, dep core.Slice, queueBytes int64) {
+	if pkt.Trace == nil {
+		return
+	}
+	pkt.Trace.AddHop(core.TraceHop{
+		TimeNs: s.eng.Now(), Node: s.Cfg.ID, InPort: inPort, Egress: egress,
+		ArrSlice: arr, DepSlice: dep, QueueBytes: queueBytes,
+	})
 }
 
 // New creates a switch. Wire ports with AttachUplink/AttachDownlink/
@@ -379,7 +479,7 @@ func (s *Switch) Start() {
 	for first < 0 {
 		first += sd
 	}
-	s.eng.Every(first, sd, func() bool {
+	s.eng.EveryClass(first, sd, sim.ClassSwitchRotate, func() bool {
 		s.rotate()
 		return true
 	})
@@ -390,7 +490,7 @@ func (s *Switch) Start() {
 		for firstSig < 0 {
 			firstSig += sd
 		}
-		s.eng.Every(firstSig, sd, func() bool {
+		s.eng.EveryClass(firstSig, sd, sim.ClassSwitchSignal, func() bool {
 			s.broadcastSignals()
 			return true
 		})
@@ -413,12 +513,16 @@ func (s *Switch) localSlice() core.Slice {
 // their slice and wait a full calendar rotation.
 func (s *Switch) rotate() {
 	k := s.effQueues()
+	endedSlice := s.Cfg.Schedule.SliceAt(s.localNow() - 1)
 	for _, p := range s.ports {
 		if p.kind != portUplink {
 			continue
 		}
 		if left := len(p.queues[s.active].fifo); left > 0 {
 			s.Counters.SliceMisses += uint64(left)
+			if s.met != nil && int(endedSlice) >= 0 && int(endedSlice) < len(s.met.misses) {
+				s.met.misses[endedSlice].Add(float64(left))
+			}
 		}
 		// Settle the outgoing active queue's EQO decay over the slice
 		// that just ended, then restart the decay clock for the incoming
@@ -460,7 +564,7 @@ func (s *Switch) drain(p *outPort) {
 		sliceEnd := sliceStart + sd
 		if local < guardEnd {
 			wait := guardEnd - local
-			s.eng.After(wait, func() { s.drain(p) })
+			s.eng.AfterClass(wait, sim.ClassSwitchDrain, func() { s.drain(p) })
 			return
 		}
 		if local+ser+s.Cfg.txTail() > sliceEnd {
@@ -486,7 +590,7 @@ func (s *Switch) drain(p *outPort) {
 	// Buffer bytes are freed when the packet has fully left the switch,
 	// matching how an egress packet would read queue occupancy.
 	size := int64(pkt.Size)
-	s.eng.After(ser, func() {
+	s.eng.AfterClass(ser, sim.ClassSwitchDrain, func() {
 		q.bytes -= size
 		p.bytes -= size
 		p.busy = false
@@ -605,7 +709,7 @@ func (s *Switch) broadcastSignals() {
 func (s *Switch) toHost(h core.HostID, pkt *core.Packet) {
 	p, ok := s.downByHost[h]
 	if !ok {
-		s.Counters.DropsNoRoute++
+		s.dropPkt(pkt, core.DropNoRoute)
 		return
 	}
 	s.enqueue(p, 0, pkt)
@@ -614,7 +718,7 @@ func (s *Switch) toHost(h core.HostID, pkt *core.Packet) {
 // enqueue places pkt on queue qi of port p with buffer accounting.
 func (s *Switch) enqueue(p *outPort, qi int, pkt *core.Packet) {
 	if s.totalBuffered()+int64(pkt.Size) > s.Cfg.buffer() {
-		s.Counters.DropsBuffer++
+		s.dropPkt(pkt, core.DropBuffer)
 		return
 	}
 	pkt.Enqueued = s.eng.Now()

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"testing"
+
+	"openoptics/internal/core"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("oo_test_events_total", "events", L("node", "0"))
+	c.Inc()
+	c.Add(2)
+	if got, ok := r.Value("oo_test_events_total", L("node", "0")); !ok || got != 3 {
+		t.Fatalf("Value = %v,%v want 3,true", got, ok)
+	}
+	// Same name+labels returns the same counter.
+	if c2 := r.Counter("oo_test_events_total", "events", L("node", "0")); c2 != c {
+		t.Fatal("counter not deduplicated")
+	}
+	g := 42.0
+	r.GaugeFunc("oo_test_depth", "depth", func() float64 { return g }, L("node", "1"))
+	if got, _ := r.Value("oo_test_depth", L("node", "1")); got != 42 {
+		t.Fatalf("gauge = %v", got)
+	}
+	// Sum with subset label matching.
+	r.Counter("oo_test_events_total", "events", L("node", "1")).Add(5)
+	if got := r.Sum("oo_test_events_total"); got != 8 {
+		t.Fatalf("Sum all = %v want 8", got)
+	}
+	if got := r.Sum("oo_test_events_total", L("node", "1")); got != 5 {
+		t.Fatalf("Sum node=1 = %v want 5", got)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("oo_test_delay_ns", "delay", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 5555 {
+		t.Fatalf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`oo_test_delay_ns_bucket{le="10"} 1`,
+		`oo_test_delay_ns_bucket{le="1000"} 3`,
+		`oo_test_delay_ns_bucket{le="+Inf"} 4`,
+		`oo_test_delay_ns_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// promLine matches a valid Prometheus text sample line.
+var promLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+
+// ValidatePrometheus is shared with the root-level acceptance test: every
+// line is either a HELP/TYPE comment or a well-formed sample.
+func ValidatePrometheus(t *testing.T, text string) int {
+	t.Helper()
+	samples := 0
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid Prometheus line: %q", line)
+		}
+		samples++
+	}
+	return samples
+}
+
+func TestPrometheusExportParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oo_a_total", "a", L("node", "0"), L("slice", "3")).Inc()
+	r.GaugeFunc("oo_b_bytes", "b", func() float64 { return 1.5 })
+	r.Histogram("oo_c_ns", "c", []float64{1, 2}).Observe(1.5)
+	r.DynamicFamily("oo_d_total", "d", TypeCounter, func(emit func([]Label, float64)) {
+		emit([]Label{L("class", "link.deliver")}, 7)
+	})
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := ValidatePrometheus(t, buf.String()); n < 8 {
+		t.Fatalf("expected >= 8 sample lines, got %d:\n%s", n, buf.String())
+	}
+}
+
+func TestJSONExport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oo_a_total", "a", L("node", "2")).Add(9)
+	r.Histogram("oo_c_ns", "c", []float64{10}).Observe(3)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var fams []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &fams); err != nil {
+		t.Fatalf("JSON export does not parse: %v\n%s", err, buf.String())
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d", len(fams))
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	for in, want := range map[string]string{
+		"RxPkts":       "rx_pkts",
+		"DropsNoRoute": "drops_no_route",
+		"RTOFires":     "rto_fires",
+		"PushBacksRx":  "push_backs_rx",
+		"TxBytes":      "tx_bytes",
+	} {
+		if got := SnakeCase(in); got != want {
+			t.Errorf("SnakeCase(%s) = %s want %s", in, got, want)
+		}
+	}
+}
+
+func TestRegisterCounterStruct(t *testing.T) {
+	type counters struct {
+		RxPkts  uint64
+		TxPkts  uint64
+		private uint64 //nolint:unused // must be skipped, not panic
+		Name    string // non-uint64: skipped
+	}
+	c := &counters{RxPkts: 3, TxPkts: 4}
+	r := NewRegistry()
+	RegisterCounterStruct(r, "oo_dev", "device counters", c, L("node", "0"))
+	if got, ok := r.Value("oo_dev_rx_pkts_total", L("node", "0")); !ok || got != 3 {
+		t.Fatalf("rx = %v,%v", got, ok)
+	}
+	c.TxPkts = 10
+	if got, _ := r.Value("oo_dev_tx_pkts_total", L("node", "0")); got != 10 {
+		t.Fatalf("export is not live: %v", got)
+	}
+}
+
+func TestTracerSamplingAndFlush(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(1, &buf)
+	flow := core.FlowKey{SrcHost: 1, DstHost: 2, SrcPort: 10, DstPort: 20, Proto: core.ProtoUDP}
+	pkt := &core.Packet{ID: 7, Flow: flow, SrcNode: 0, DstNode: 3, Size: 128}
+	tr.Start(pkt, 100)
+	if pkt.Trace == nil {
+		t.Fatal("rate-1 tracer did not attach")
+	}
+	pkt.Trace.AddHop(core.TraceHop{TimeNs: 150, Node: 0, Egress: 1, ArrSlice: 2, DepSlice: 3, QueueBytes: 64})
+	pkt.Trace.AddHop(core.TraceHop{TimeNs: 250, Node: 5, Egress: 0, ArrSlice: 3, DepSlice: 4})
+	tr.Deliver(pkt, 3, 300)
+	if pkt.Trace != nil {
+		t.Fatal("trace not detached at finish")
+	}
+	var rec core.PktTrace
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("JSONL record does not parse: %v", err)
+	}
+	if rec.PktID != 7 || len(rec.Hops) != 2 || rec.Disposition != core.DispDelivered ||
+		rec.Hops[0].Egress != 1 || rec.EndNs != 300 {
+		t.Fatalf("bad record: %+v", rec)
+	}
+
+	// Rate 0 never samples; control packets never sampled at any rate.
+	tr0 := NewTracer(0, nil)
+	pkt2 := &core.Packet{Flow: flow}
+	tr0.Start(pkt2, 0)
+	if pkt2.Trace != nil {
+		t.Fatal("rate-0 tracer attached a trace")
+	}
+	ctrl := &core.Packet{Flow: core.FlowKey{Proto: core.ProtoCtrl}}
+	tr.Start(ctrl, 0)
+	if ctrl.Trace != nil {
+		t.Fatal("control packet traced")
+	}
+
+	// Sampling is deterministic and proportional-ish.
+	trHalf := NewTracer(0.5, nil)
+	sampled := 0
+	for i := 0; i < 1000; i++ {
+		f := core.FlowKey{SrcHost: core.HostID(i), DstHost: 2, SrcPort: uint16(i), DstPort: 9, Proto: core.ProtoUDP}
+		if trHalf.Sampled(f) {
+			sampled++
+		}
+		if trHalf.Sampled(f) != trHalf.Sampled(f) {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	if sampled < 350 || sampled > 650 {
+		t.Fatalf("rate 0.5 sampled %d/1000", sampled)
+	}
+
+	// Drop disposition carries the reason.
+	pkt3 := &core.Packet{ID: 9, Flow: flow, Size: 64}
+	buf.Reset()
+	tr.Start(pkt3, 10)
+	tr.Drop(pkt3, core.DropWrap, 4, 20)
+	var rec3 core.PktTrace
+	if err := json.Unmarshal(buf.Bytes(), &rec3); err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Disposition != core.DispDropped || rec3.Reason != core.DropWrap || rec3.EndNode != 4 {
+		t.Fatalf("bad drop record: %+v", rec3)
+	}
+}

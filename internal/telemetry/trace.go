@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"openoptics/internal/core"
+)
+
+// Tracer implements sampled in-band packet tracing (INT-style): a data
+// packet whose flow is sampled carries a core.PktTrace that every
+// forwarding device appends a hop record to; at delivery or drop the
+// record is flushed as one JSON line to the sink.
+//
+// Sampling is deterministic per flow — a hash-threshold test on the five
+// tuple — so all packets of a sampled flow are traced and runs are
+// reproducible regardless of sampling rate. Both directions of a TCP
+// connection hash differently; sample rate 1 traces everything.
+type Tracer struct {
+	threshold uint64
+	sink      io.Writer
+	enc       *json.Encoder
+
+	// OnFinish, when set, receives every finished trace after it is
+	// written to the sink — the programmatic consumption path.
+	OnFinish func(*core.PktTrace)
+
+	// Started counts traces attached; Finished counts traces flushed
+	// (delivered + dropped); SinkErrs counts JSONL write failures.
+	Started  uint64
+	Finished uint64
+	SinkErrs uint64
+
+	// observe feeds finished traces into registry histograms (ObserveInto);
+	// separate from OnFinish so users keep that hook for themselves.
+	observe func(*core.PktTrace)
+}
+
+// NewTracer builds a tracer sampling the given fraction of flows
+// (clamped to [0,1]). sink may be nil; set one later with SetSink.
+func NewTracer(sampleRate float64, sink io.Writer) *Tracer {
+	if sampleRate < 0 {
+		sampleRate = 0
+	}
+	if sampleRate > 1 {
+		sampleRate = 1
+	}
+	t := &Tracer{threshold: uint64(sampleRate * float64(^uint64(0)))}
+	if sampleRate >= 1 {
+		t.threshold = ^uint64(0)
+	}
+	t.SetSink(sink)
+	return t
+}
+
+// SetSink directs finished traces to w as JSON lines (nil disables
+// writing; OnFinish still fires).
+func (t *Tracer) SetSink(w io.Writer) {
+	t.sink = w
+	if w != nil {
+		t.enc = json.NewEncoder(w)
+	} else {
+		t.enc = nil
+	}
+}
+
+// ObserveInto summarizes finished traces into two histograms on reg:
+// oo_trace_latency_ns (end-to-end virtual latency of delivered sampled
+// packets) and oo_trace_hops (forwarding decisions per delivered packet).
+// Idempotent; independent of the user-facing OnFinish hook.
+func (t *Tracer) ObserveInto(reg *Registry) {
+	lat := reg.Histogram("oo_trace_latency_ns",
+		"End-to-end virtual latency of delivered sampled packets.",
+		[]float64{1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7})
+	hops := reg.Histogram("oo_trace_hops",
+		"Forwarding decisions per delivered sampled packet.",
+		[]float64{1, 2, 3, 4, 6, 8})
+	t.observe = func(tr *core.PktTrace) {
+		if tr.Disposition != core.DispDelivered {
+			return
+		}
+		lat.Observe(float64(tr.EndNs - tr.StartNs))
+		hops.Observe(float64(len(tr.Hops)))
+	}
+}
+
+// Sampled reports whether the flow is in the sampled set.
+func (t *Tracer) Sampled(flow core.FlowKey) bool {
+	if t.threshold == ^uint64(0) {
+		return true
+	}
+	// Re-mix the flow hash so the sampling decision is independent of the
+	// multipath hashing that consumes the same five tuple.
+	h := flow.Hash() * 0x9e3779b97f4a7c15
+	return h < t.threshold
+}
+
+// Start attaches a trace to the packet if its flow is sampled and it is
+// not already traced. Control-plane packets are never traced.
+func (t *Tracer) Start(pkt *core.Packet, now int64) {
+	if pkt.Trace != nil || pkt.IsCtrl() || !t.Sampled(pkt.Flow) {
+		return
+	}
+	t.Started++
+	pkt.Trace = &core.PktTrace{
+		PktID:   pkt.ID,
+		Flow:    pkt.Flow.String(),
+		SrcNode: pkt.SrcNode,
+		DstNode: pkt.DstNode,
+		Size:    pkt.Size,
+		StartNs: now,
+	}
+}
+
+// Deliver finishes the packet's trace with the delivered disposition.
+func (t *Tracer) Deliver(pkt *core.Packet, node core.NodeID, now int64) {
+	t.finish(pkt, core.DispDelivered, core.DropNone, node, now)
+}
+
+// Drop finishes the packet's trace with a drop disposition and reason.
+func (t *Tracer) Drop(pkt *core.Packet, reason core.DropReason, node core.NodeID, now int64) {
+	t.finish(pkt, core.DispDropped, reason, node, now)
+}
+
+func (t *Tracer) finish(pkt *core.Packet, disp string, reason core.DropReason, node core.NodeID, now int64) {
+	tr := pkt.Trace
+	if tr == nil {
+		return
+	}
+	pkt.Trace = nil // a re-injected packet (retransmit path) starts fresh
+	tr.Disposition = disp
+	tr.Reason = reason
+	tr.EndNode = node
+	tr.EndNs = now
+	t.Finished++
+	if t.observe != nil {
+		t.observe(tr)
+	}
+	if t.enc != nil {
+		if err := t.enc.Encode(tr); err != nil {
+			t.SinkErrs++
+		}
+	}
+	if t.OnFinish != nil {
+		t.OnFinish(tr)
+	}
+}

@@ -28,12 +28,16 @@ type tdtcp struct {
 	// divOf maps a segment's starting sequence to the division it was
 	// (last) emitted in; entries retire as the cumulative ACK passes.
 	divOf map[int64]int
+	// lastDiv is the division of the previous emission (-1 before the
+	// first), for counting division switches.
+	lastDiv int
 }
 
 func newTDTCP(divisions int, initCwnd, maxCwnd float64) *tdtcp {
 	td := &tdtcp{
-		states: make([]tdState, divisions),
-		divOf:  make(map[int64]int),
+		states:  make([]tdState, divisions),
+		divOf:   make(map[int64]int),
+		lastDiv: -1,
 	}
 	for i := range td.states {
 		td.states[i] = tdState{cwnd: initCwnd, ssthresh: maxCwnd}
@@ -58,7 +62,12 @@ func (c *Conn) tdCwnd() float64 {
 
 // tdStamp records which division emitted the segment at seq.
 func (c *Conn) tdStamp(seq int64) {
-	c.td.divOf[seq] = c.division(c.stack.eng.Now())
+	d := c.division(c.stack.eng.Now())
+	if c.td.lastDiv >= 0 && d != c.td.lastDiv {
+		c.stack.Counters.DivisionSwitches++
+	}
+	c.td.lastDiv = d
+	c.td.divOf[seq] = d
 }
 
 // tdOnAck applies cumulative-ACK feedback to the divisions whose segments
@@ -109,6 +118,8 @@ func (c *Conn) tdOnAck(prevAcked, acked int64, progress bool) {
 		}
 		st.cwnd = st.ssthresh
 		c.Retransmissions++
+		c.stack.Counters.FastRetransmits++
+		c.stack.Counters.Retransmissions++
 		c.emit(c.acked)
 		c.tdStamp(c.acked)
 	}

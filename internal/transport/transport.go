@@ -81,6 +81,19 @@ type FlowComplete struct {
 // FCT returns the flow completion time in ns.
 func (f FlowComplete) FCT() int64 { return f.End - f.Start }
 
+// Counters aggregates stack-wide transport behaviour for telemetry.
+type Counters struct {
+	// Retransmissions counts all resent segments (fast retransmit + RTO).
+	Retransmissions uint64
+	// FastRetransmits counts dupack-triggered retransmissions.
+	FastRetransmits uint64
+	// RTOFires counts retransmission-timeout expirations.
+	RTOFires uint64
+	// DivisionSwitches counts TDTCP segment emissions whose active
+	// division differs from the previous emission on the same connection.
+	DivisionSwitches uint64
+}
+
 // Stack is one host's transport stack. It owns the host's receive handler.
 type Stack struct {
 	eng  *sim.Engine
@@ -100,6 +113,10 @@ type Stack struct {
 	// ReorderEvents counts out-of-order data arrivals across all
 	// receivers on this stack (Fig. 9 b).
 	ReorderEvents uint64
+
+	// Counters aggregates retransmission and TDTCP behaviour across all
+	// connections on this stack.
+	Counters Counters
 
 	nextID uint64
 }
@@ -238,7 +255,7 @@ func (c *Conn) armRTO() {
 }
 
 func (c *Conn) scheduleRTOCheck(d int64) {
-	c.stack.eng.After(d, func() {
+	c.stack.eng.AfterClass(d, sim.ClassTransportRTO, func() {
 		if c.done {
 			c.rtoArmed = false
 			return
@@ -263,6 +280,8 @@ func (c *Conn) scheduleRTOCheck(d int64) {
 			c.inFR = false
 		}
 		c.Retransmissions++
+		c.stack.Counters.RTOFires++
+		c.stack.Counters.Retransmissions++
 		c.emit(c.acked)
 		if c.td != nil {
 			c.tdStamp(c.acked)
@@ -325,6 +344,8 @@ func (c *Conn) onAck(ack int64) {
 		}
 		c.cwnd = c.ssthresh
 		c.Retransmissions++
+		c.stack.Counters.FastRetransmits++
+		c.stack.Counters.Retransmissions++
 		c.emit(c.acked)
 	}
 }

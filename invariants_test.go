@@ -40,6 +40,16 @@ func buildRandomRotor(nodesRaw, uplinkRaw uint8, seed uint64) (*Net, int, error)
 	return n, nodes, nil
 }
 
+// TestInvariants bundles the system-level invariant checks under one name
+// so the tier-2 gate (`make check`) can run exactly this suite with
+// `go test -run TestInvariants`.
+func TestInvariants(t *testing.T) {
+	t.Run("PacketConservation", TestPacketConservation)
+	t.Run("Determinism", TestDeterminism)
+	t.Run("CircuitExclusivity", TestCircuitExclusivity)
+	t.Run("SliceAlignment", TestSliceAlignment)
+}
+
 // TestPacketConservation: every packet a host sent is either delivered to
 // a host, dropped with an accounted reason, still buffered in the network,
 // or parked on a host — nothing vanishes.

@@ -12,6 +12,7 @@ import (
 	"openoptics/internal/sim"
 	"openoptics/internal/switchsim"
 	"openoptics/internal/syncproto"
+	"openoptics/internal/telemetry"
 	"openoptics/internal/traffic"
 	"openoptics/internal/transport"
 )
@@ -39,6 +40,11 @@ type Net struct {
 	started bool
 	// deployGen counts DeployRouting invocations (telemetry).
 	deployGen int
+
+	// reg is the lazily built metrics registry (observe.go).
+	reg *telemetry.Registry
+	// tracer is the attached in-band packet tracer, if any (observe.go).
+	tracer *telemetry.Tracer
 }
 
 type layer struct {
@@ -168,8 +174,18 @@ func New(cfg Config) (*Net, error) {
 			n.stacks = append(n.stacks, st)
 		}
 	}
+	if Observe != nil {
+		Observe(n)
+	}
 	return n, nil
 }
+
+// Observe, when set, is invoked with every Net this package constructs,
+// right after construction and before topology deployment. It is the hook
+// command-line drivers use to attach telemetry (tracers, metrics
+// registries, engine profiling) to networks built deep inside experiment
+// drivers, without threading options through every driver.
+var Observe func(*Net)
 
 // elecPort returns the switch port wired to the electrical fabric.
 func (n *Net) elecPort() core.PortID { return core.PortID(n.Cfg.Uplink) }
@@ -368,6 +384,11 @@ func (n *Net) Start() {
 	}
 	n.started = true
 	for _, sw := range n.switches {
+		if n.reg != nil {
+			// The registry was built before deployment; attach the
+			// per-slice counters now that the cycle length is fixed.
+			sw.AttachMetrics(n.reg)
+		}
 		sw.Start()
 	}
 	for _, h := range n.hosts {
@@ -433,7 +454,7 @@ func (n *Net) Monitor(interval time.Duration, fn func(Telemetry) bool) {
 	if iv <= 0 {
 		iv = int64(time.Millisecond)
 	}
-	n.eng.Every(iv, iv, func() bool {
+	n.eng.EveryClass(iv, iv, sim.ClassTelemetry, func() bool {
 		t := Telemetry{Time: n.eng.Now()}
 		for _, sw := range n.switches {
 			t.BufferBytes = append(t.BufferBytes, sw.BufferUsage(core.NoPort))
@@ -441,34 +462,24 @@ func (n *Net) Monitor(interval time.Duration, fn func(Telemetry) bool) {
 			for p := core.PortID(0); int(p) < n.Cfg.Uplink; p++ {
 				tx += sw.BWUsage(p)
 			}
+			if n.elec != nil {
+				// The electrical uplink transmits too; bw_usage covers
+				// every port that leaves the switch.
+				tx += sw.BWUsage(n.elecPort())
+			}
 			t.TxBytes = append(t.TxBytes, tx)
 		}
 		return fn(t)
 	})
 }
 
-// Counters sums the switch counters across the network.
+// Counters sums the switch counters across the network. The sum is
+// reflection-based (Counters.Add), so new counter fields aggregate
+// automatically.
 func (n *Net) Counters() switchsim.Counters {
 	var t switchsim.Counters
 	for _, sw := range n.switches {
-		c := sw.Counters
-		t.RxPkts += c.RxPkts
-		t.TxPkts += c.TxPkts
-		t.Delivered += c.Delivered
-		t.DropsNoRoute += c.DropsNoRoute
-		t.DropsBuffer += c.DropsBuffer
-		t.DropsWrap += c.DropsWrap
-		t.DropsCongest += c.DropsCongest
-		t.DropsTTL += c.DropsTTL
-		t.Trims += c.Trims
-		t.Defers += c.Defers
-		t.PushBacksSent += c.PushBacksSent
-		t.PushBacksRx += c.PushBacksRx
-		t.Offloads += c.Offloads
-		t.OffloadsBack += c.OffloadsBack
-		t.SliceMisses += c.SliceMisses
-		t.Fallbacks += c.Fallbacks
-		t.EnqueuedBytes += c.EnqueuedBytes
+		t.Add(&sw.Counters)
 	}
 	return t
 }

@@ -1,0 +1,162 @@
+package openoptics
+
+import (
+	"strconv"
+
+	"openoptics/internal/core"
+	"openoptics/internal/telemetry"
+)
+
+// This file wires the telemetry subsystem into a Net: the network-wide
+// metrics registry (Prometheus/JSON export) and the sampled in-band packet
+// tracer. Neither costs anything until requested — the registry reads
+// device counters at export time, and untraced packets pay one nil check
+// per decision point.
+
+// Metrics returns the network-wide metrics registry, building it on the
+// first call: engine event/profiling counters, every switch/host/transport
+// counter block, per-slice drop attribution, buffer and link-utilization
+// gauges, and fabric drop counters. Call it after DeployTopo so the
+// per-slice counter space covers the deployed cycle length.
+func (n *Net) Metrics() *telemetry.Registry {
+	if n.reg != nil {
+		return n.reg
+	}
+	reg := telemetry.NewRegistry()
+	n.reg = reg
+
+	n.registerEngine(reg)
+	for i, sw := range n.switches {
+		sw := sw
+		node := telemetry.L("node", strconv.Itoa(i))
+		telemetry.RegisterCounterStruct(reg, "oo_switch", "Switch counter", &sw.Counters, node)
+		reg.GaugeFunc("oo_switch_buffer_bytes", "Bytes currently buffered on the switch.",
+			func() float64 { return float64(sw.BufferUsage(core.NoPort)) }, node)
+		nports := n.Cfg.Uplink
+		if n.elec != nil {
+			nports++ // the electrical uplink transmits too
+		}
+		for p := 0; p < nports; p++ {
+			p := core.PortID(p)
+			reg.CounterFunc("oo_switch_tx_bytes_total", "Bytes transmitted per switch port.",
+				func() float64 { return float64(sw.BWUsage(p)) },
+				node, telemetry.L("port", strconv.Itoa(int(p))))
+		}
+		if n.started {
+			sw.AttachMetrics(reg)
+		}
+		// Not yet started: Start() attaches the per-slice counters once the
+		// deployed cycle length is known.
+	}
+	for i, h := range n.hosts {
+		h := h
+		st := n.stacks[i]
+		host := telemetry.L("host", strconv.Itoa(int(h.Cfg.ID)))
+		telemetry.RegisterCounterStruct(reg, "oo_host", "Host counter", &h.Counters, host)
+		telemetry.RegisterCounterStruct(reg, "oo_transport", "Transport counter", &st.Counters, host)
+		reg.CounterFunc("oo_transport_reorder_events_total", "Out-of-order data arrivals.",
+			func() float64 { return float64(st.ReorderEvents) }, host)
+	}
+	n.registerFabrics(reg)
+	if n.tracer != nil {
+		n.tracer.ObserveInto(reg)
+	}
+	return reg
+}
+
+func (n *Net) registerEngine(reg *telemetry.Registry) {
+	reg.CounterFunc("oo_engine_events_total", "Executed simulation events.",
+		func() float64 { return float64(n.eng.Processed) })
+	reg.GaugeFunc("oo_engine_virtual_time_ns", "Engine virtual clock in ns.",
+		func() float64 { return float64(n.eng.Now()) })
+	reg.DynamicFamily("oo_engine_class_events_total",
+		"Executed events by handler class.", telemetry.TypeCounter,
+		func(emit func([]telemetry.Label, float64)) {
+			for _, cs := range n.eng.ProfileStats() {
+				emit([]telemetry.Label{telemetry.L("class", cs.Class.String())}, float64(cs.Count))
+			}
+		})
+	reg.DynamicFamily("oo_engine_class_wall_ns_total",
+		"Wall-clock ns spent per handler class (requires EnableProfiling).", telemetry.TypeCounter,
+		func(emit func([]telemetry.Label, float64)) {
+			for _, cs := range n.eng.ProfileStats() {
+				emit([]telemetry.Label{telemetry.L("class", cs.Class.String())}, float64(cs.WallNs))
+			}
+		})
+}
+
+func (n *Net) registerFabrics(reg *telemetry.Registry) {
+	opt := telemetry.L("fabric", "optical")
+	reg.CounterFunc("oo_fabric_drops_total", "Packets dropped inside a fabric.",
+		func() float64 { return float64(n.optical.DropsGuard) },
+		opt, telemetry.L("reason", string(core.DropGuard)))
+	reg.CounterFunc("oo_fabric_drops_total", "Packets dropped inside a fabric.",
+		func() float64 { return float64(n.optical.DropsNoCircuit) },
+		opt, telemetry.L("reason", string(core.DropNoCircuit)))
+	reg.CounterFunc("oo_fabric_forwarded_total", "Packets forwarded by a fabric.",
+		func() float64 { return float64(n.optical.Forwarded) }, opt)
+	for i, l := range n.optical.Links() {
+		l := l
+		link := telemetry.L("link", strconv.Itoa(i))
+		for _, d := range []struct {
+			dir   string
+			bytes *uint64
+		}{{"to_fabric", &l.BytesAB}, {"from_fabric", &l.BytesBA}} {
+			d := d
+			reg.CounterFunc("oo_link_tx_bytes_total", "Bytes carried per optical-fabric link.",
+				func() float64 { return float64(*d.bytes) }, link, telemetry.L("dir", d.dir))
+			reg.GaugeFunc("oo_link_utilization", "Fraction of link capacity used since start.",
+				func() float64 { return linkUtil(*d.bytes, l.BandwidthBps, n.eng.Now()) },
+				link, telemetry.L("dir", d.dir))
+		}
+	}
+	if n.elec == nil {
+		return
+	}
+	el := telemetry.L("fabric", "electrical")
+	reg.CounterFunc("oo_fabric_drops_total", "Packets dropped inside a fabric.",
+		func() float64 { return float64(n.elec.DropsQueue) },
+		el, telemetry.L("reason", string(core.DropElecQueue)))
+	reg.CounterFunc("oo_fabric_drops_total", "Packets dropped inside a fabric.",
+		func() float64 { return float64(n.elec.DropsNoRoute) },
+		el, telemetry.L("reason", string(core.DropElecRoute)))
+	reg.CounterFunc("oo_fabric_forwarded_total", "Packets forwarded by a fabric.",
+		func() float64 { return float64(n.elec.Forwarded) }, el)
+	for i := range n.switches {
+		node := core.NodeID(i)
+		reg.GaugeFunc("oo_elec_queue_max_bytes", "Electrical-fabric output-queue high-water mark.",
+			func() float64 { return float64(n.elec.MaxQueueBytes(node)) },
+			telemetry.L("node", strconv.Itoa(i)))
+	}
+}
+
+func linkUtil(bytes uint64, bps int64, nowNs int64) float64 {
+	if nowNs <= 0 || bps <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 * 1e9 / (float64(bps) * float64(nowNs))
+}
+
+// Tracer attaches a sampled in-band packet tracer to every device (switch,
+// host, both fabrics) and returns it. sampleRate is the fraction of flows
+// traced (deterministic per-flow hash sampling; 1 traces everything).
+// Direct the JSONL output with SetSink, or consume traces programmatically
+// via OnFinish. Calling Tracer again replaces the previous tracer.
+func (n *Net) Tracer(sampleRate float64) *telemetry.Tracer {
+	tr := telemetry.NewTracer(sampleRate, nil)
+	n.tracer = tr
+	if n.reg != nil {
+		tr.ObserveInto(n.reg)
+	}
+	for _, sw := range n.switches {
+		sw.Tracer = tr
+	}
+	for _, h := range n.hosts {
+		h.Tracer = tr
+	}
+	n.optical.Tracer = tr
+	if n.elec != nil {
+		n.elec.Tracer = tr
+	}
+	return tr
+}
