@@ -1,5 +1,5 @@
 # Tier-1: what every change must keep green.
-.PHONY: build test check bench
+.PHONY: build test check bench sweep-smoke
 
 build:
 	go build ./...
@@ -20,3 +20,10 @@ check: build
 
 bench:
 	go test -run xxx -bench . -benchtime 3x .
+
+# Race-detector smoke of the sweep orchestrator: a tiny grid on 4 workers,
+# run fresh then resumed (the resume must skip everything). CI runs this.
+sweep-smoke:
+	rm -rf /tmp/oosweep-smoke
+	go run -race ./cmd/oosweep run -spec testdata/sweep_smoke.json -out /tmp/oosweep-smoke -jobs 4
+	go run -race ./cmd/oosweep resume -spec testdata/sweep_smoke.json -out /tmp/oosweep-smoke -jobs 4

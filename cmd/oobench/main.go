@@ -14,15 +14,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"openoptics"
 
 	"openoptics/experiments"
+	"openoptics/internal/runner"
 )
 
-type runner struct {
+type experiment struct {
 	id   string
 	desc string
 	run  func(experiments.Params) (fmt.Stringer, error)
@@ -38,8 +40,8 @@ func wrap[T fmt.Stringer](fn func(experiments.Params) (T, error)) func(experimen
 	}
 }
 
-func runners() []runner {
-	return []runner{
+func runners() []experiment {
+	return []experiment{
 		{"fig8", "Case I: FCTs across six architectures (+UCMP)", wrap(experiments.Fig8)},
 		{"fig9", "Case II: TCP throughput and reordering", wrap(experiments.Fig9)},
 		{"fig10", "Case III: OCS choice — FCT vs slice duration", wrap(experiments.Fig10)},
@@ -72,6 +74,7 @@ func run() (code int) {
 	nodes := flag.Int("nodes", 0, "override endpoint-node count (0 = default)")
 	durMs := flag.Int("duration-ms", 0, "override measured window (0 = default)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "parallel experiment drivers for -exp all")
 	metricsOut := flag.String("metrics-out", "", "write the last built network's metrics at exit (.json = JSON, else Prometheus text)")
 	traceOut := flag.String("trace-out", "", "write sampled in-band packet traces (all networks) as JSONL")
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
@@ -120,10 +123,18 @@ func run() (code int) {
 		}
 		return 0
 	}
-	p := experiments.Params{Quick: *quick, Seed: *seed, Nodes: *nodes,
+	// An explicitly passed -seed is honored verbatim — including 0, which
+	// Params treats as the default-seed sentinel unless SeedSet is up.
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	p := experiments.Params{Quick: *quick, Seed: *seed, SeedSet: seedSet, Nodes: *nodes,
 		Duration: time.Duration(*durMs) * time.Millisecond}
 
-	ids := map[string]runner{}
+	ids := map[string]experiment{}
 	order := make([]string, 0, len(rs))
 	for _, r := range rs {
 		ids[r.id] = r
@@ -139,6 +150,15 @@ func run() (code int) {
 		}
 		todo = []string{*exp}
 	}
+	// Telemetry sinks (the Observe hook, trace writer, metrics registry)
+	// are process-global, so parallel drivers would race on them.
+	if *jobs > 1 && (*metricsOut != "" || traceW != nil) {
+		fmt.Fprintln(os.Stderr, "oobench: -metrics-out/-trace-out are process-global; clamping -jobs to 1")
+		*jobs = 1
+	}
+	if len(todo) > 1 && *jobs > 1 {
+		return runParallel(todo, ids, p, *jobs)
+	}
 	failed := 0
 	for _, id := range todo {
 		r := ids[id]
@@ -150,6 +170,41 @@ func run() (code int) {
 			continue
 		}
 		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", id, r.desc, time.Since(start).Seconds(), res)
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runParallel routes the experiment drivers through the sweep subsystem's
+// worker pool: each driver is an isolated simulation, so they parallelize
+// freely. Output is buffered per experiment and printed in declared order,
+// matching the serial format; a panicking driver is recorded as failed
+// instead of crashing the batch.
+func runParallel(todo []string, ids map[string]experiment, p experiments.Params, jobs int) int {
+	tasks := make([]runner.Task, len(todo))
+	for i, id := range todo {
+		r := ids[id]
+		tasks[i] = runner.Task{ID: id, Run: func(int) (any, error) {
+			start := time.Now()
+			res, err := r.run(p)
+			if err != nil {
+				return nil, err
+			}
+			return fmt.Sprintf("=== %s (%s, %.1fs) ===\n%s\n",
+				r.id, r.desc, time.Since(start).Seconds(), res), nil
+		}}
+	}
+	pool := &runner.Pool{Workers: jobs}
+	failed := 0
+	for _, tr := range pool.Run(tasks) {
+		if tr.Err != nil {
+			fmt.Fprintf(os.Stderr, "oobench: %s failed: %v\n", tr.ID, tr.Err)
+			failed++
+			continue
+		}
+		fmt.Print(tr.Value.(string))
 	}
 	if failed > 0 {
 		return 1

@@ -25,14 +25,18 @@ type Params struct {
 	Duration time.Duration
 	// Nodes overrides the endpoint count where meaningful.
 	Nodes int
-	// Seed fixes the run.
+	// Seed fixes the run. The zero value selects the default seed (42)
+	// unless SeedSet marks it as an explicit request for seed 0.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, making seed 0 expressible
+	// (without it, zero is a sentinel and silently became 42).
+	SeedSet bool
 	// Quick shrinks scale for unit-test budgets.
 	Quick bool
 }
 
 func (p Params) seed() uint64 {
-	if p.Seed == 0 {
+	if p.Seed == 0 && !p.SeedSet {
 		return 42
 	}
 	return p.Seed

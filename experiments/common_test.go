@@ -1,0 +1,24 @@
+package experiments
+
+import "testing"
+
+// TestParamsSeed pins the seed-selection contract: an unset seed defaults
+// to 42, a nonzero seed is honored, and — with SeedSet — zero is a real,
+// requestable seed instead of a silent alias for the default.
+func TestParamsSeed(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		want uint64
+	}{
+		{"default", Params{}, 42},
+		{"explicit", Params{Seed: 7}, 7},
+		{"explicit-default", Params{Seed: 42, SeedSet: true}, 42},
+		{"zero-requested", Params{Seed: 0, SeedSet: true}, 0},
+	}
+	for _, c := range cases {
+		if got := c.p.seed(); got != c.want {
+			t.Errorf("%s: seed() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

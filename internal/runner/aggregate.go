@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Aggregate is the deterministic view of a sweep ledger: records deduped
+// by job ID (latest wins, so resumed re-runs supersede), sorted by ID, and
+// grouped per scenario with cross-replication statistics. Only
+// deterministic fields enter the exports — wall-clock times and attempt
+// counts stay in the raw ledger — so CSV/JSON bytes are identical for any
+// worker count or completion order.
+type Aggregate struct {
+	Name      string          `json:"name,omitempty"`
+	Jobs      []Record        `json:"-"`
+	Scenarios []ScenarioStats `json:"scenarios"`
+}
+
+// ScenarioStats summarizes one scenario across its replications.
+type ScenarioStats struct {
+	Scenario string `json:"scenario"`
+	Jobs     int    `json:"jobs"`
+	OK       int    `json:"ok"`
+	Failed   int    `json:"failed"`
+
+	// Cross-replication stats over successful jobs (fct profile fields
+	// zero under the buffer profile and vice versa where not measured).
+	FCTP50Ns     crossRep `json:"fct_p50_ns"`
+	FCTP99Ns     crossRep `json:"fct_p99_ns"`
+	FCTMaxNs     crossRep `json:"fct_max_ns"`
+	BufP999Bytes crossRep `json:"buf_p999_bytes"`
+	Flows        crossRep `json:"flows"`
+}
+
+// NewAggregate builds the deterministic aggregate from raw ledger records.
+func NewAggregate(name string, recs []Record) *Aggregate {
+	a := &Aggregate{Name: name, Jobs: SortRecords(recs)}
+	type bucket struct {
+		key                           string
+		jobs, ok, failed              int
+		p50, p99, max, bufP999, flows []float64
+	}
+	var order []string
+	buckets := make(map[string]*bucket)
+	for _, r := range a.Jobs {
+		key := ScenarioKey(r.JobID)
+		b := buckets[key]
+		if b == nil {
+			b = &bucket{key: key}
+			buckets[key] = b
+			order = append(order, key)
+		}
+		b.jobs++
+		if r.Status != StatusOK || r.Result == nil {
+			b.failed++
+			continue
+		}
+		b.ok++
+		b.p50 = append(b.p50, r.Result.FCTP50Ns)
+		b.p99 = append(b.p99, r.Result.FCTP99Ns)
+		b.max = append(b.max, r.Result.FCTMaxNs)
+		b.bufP999 = append(b.bufP999, r.Result.BufP999Bytes)
+		b.flows = append(b.flows, float64(r.Result.FlowsStarted))
+	}
+	for _, key := range order {
+		b := buckets[key]
+		a.Scenarios = append(a.Scenarios, ScenarioStats{
+			Scenario: key, Jobs: b.jobs, OK: b.ok, Failed: b.failed,
+			FCTP50Ns:     summarize(b.p50),
+			FCTP99Ns:     summarize(b.p99),
+			FCTMaxNs:     summarize(b.max),
+			BufP999Bytes: summarize(b.bufP999),
+			Flows:        summarize(b.flows),
+		})
+	}
+	return a
+}
+
+// csvHeader is the per-job export schema, one row per job in ID order.
+var csvHeader = []string{
+	"job_id", "arch", "routing", "nodes", "trace", "load", "rep", "seed",
+	"status", "error", "flows", "events",
+	"fct_n", "fct_mean_ns", "fct_p50_ns", "fct_p95_ns", "fct_p99_ns", "fct_max_ns",
+	"buf_p999_bytes", "buf_max_bytes", "parked",
+}
+
+// WriteCSV renders the per-job table. Floats use the shortest exact
+// representation, so identical simulations yield identical bytes.
+func (a *Aggregate) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(csvHeader, ","))
+	b.WriteByte('\n')
+	for _, r := range a.Jobs {
+		sc := r.Scenario
+		if sc == nil {
+			sc = &Scenario{ID: r.JobID}
+		}
+		res := r.Result
+		if res == nil {
+			res = &Result{}
+		}
+		row := []string{
+			r.JobID, sc.Arch, sc.Routing,
+			strconv.Itoa(sc.Nodes), sc.Trace, g(sc.Load), strconv.Itoa(sc.Rep),
+			strconv.FormatUint(sc.Seed, 10),
+			r.Status, csvQuote(r.Error),
+			strconv.FormatUint(res.FlowsStarted, 10),
+			strconv.FormatUint(res.Events, 10),
+			strconv.Itoa(res.FCTCount), g(res.FCTMeanNs), g(res.FCTP50Ns),
+			g(res.FCTP95Ns), g(res.FCTP99Ns), g(res.FCTMaxNs),
+			g(res.BufP999Bytes), g(res.BufMaxBytes),
+			strconv.FormatUint(res.Parked, 10),
+		}
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the per-scenario summary.
+func (a *Aggregate) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// g formats a float with the shortest representation that round-trips.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// csvQuote makes an error message CSV-safe.
+func csvQuote(s string) string {
+	if s == "" {
+		return ""
+	}
+	if strings.ContainsAny(s, ",\"\n") {
+		return fmt.Sprintf("%q", strings.ReplaceAll(s, "\n", " "))
+	}
+	return s
+}

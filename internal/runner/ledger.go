@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Record is one terminal job outcome, appended to the ledger as a JSON
+// line the moment the job finishes. The ledger is both the raw result
+// stream and the sweep's checkpoint: resume reads it back and skips job
+// IDs that already succeeded. Wall-clock fields (elapsed, attempts) live
+// here and are excluded from deterministic aggregation.
+type Record struct {
+	JobID    string    `json:"job_id"`
+	Status   string    `json:"status"` // StatusOK or StatusFailed
+	Scenario *Scenario `json:"scenario,omitempty"`
+	Result   *Result   `json:"result,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Attempts int       `json:"attempts"`
+	Panicked bool      `json:"panicked,omitempty"`
+	// ElapsedMs is the job's wall-clock time across all attempts.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// Record statuses.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed"
+)
+
+// Ledger appends records to a JSONL file, one fsync-free write per record
+// (a single buffered line per job keeps a mid-sweep kill losing at most
+// the in-flight record, which ReadLedger tolerates).
+type Ledger struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenLedger opens (creating or appending) the ledger at path.
+func OpenLedger(path string) (*Ledger, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open ledger: %w", err)
+	}
+	return &Ledger{f: f}, nil
+}
+
+// Append writes one record as a single JSON line.
+func (l *Ledger) Append(r Record) error {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("runner: marshal record: %w", err)
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.f.Write(b)
+	return err
+}
+
+// Close closes the underlying file.
+func (l *Ledger) Close() error { return l.f.Close() }
+
+// ReadLedger loads all records from a JSONL ledger. A truncated final line
+// (the signature of a killed sweep) is skipped, not fatal; garbage
+// anywhere else is an error.
+func ReadLedger(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var recs []Record
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(raw, &r); err != nil {
+			// Peek ahead: if this is the last line, it is an interrupted
+			// write — drop it and resume from the previous checkpoint.
+			if !sc.Scan() {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("runner: ledger line %d: %w", line, err)
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("runner: read ledger: %w", err)
+	}
+	return recs, nil
+}
+
+// CompletedIDs returns the set of job IDs with a successful record —
+// the jobs a resumed sweep skips. Failed jobs are re-attempted on resume
+// (their failure may have been environmental).
+func CompletedIDs(recs []Record) map[string]bool {
+	done := make(map[string]bool)
+	for _, r := range recs {
+		if r.Status == StatusOK {
+			done[r.JobID] = true
+		}
+	}
+	return done
+}

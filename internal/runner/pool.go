@@ -1,0 +1,125 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Task is one unit of pool work. Run receives the 1-based attempt number
+// so callers can implement attempt-dependent behavior (tests exercise the
+// retry machinery with it; simulation jobs ignore it — they are
+// deterministic per seed).
+type Task struct {
+	ID  string
+	Run func(attempt int) (any, error)
+}
+
+// TaskResult is the terminal outcome of one task after all attempts.
+type TaskResult struct {
+	ID       string
+	Index    int // position in the submitted slice
+	Value    any
+	Err      error // nil on success
+	Attempts int
+	Elapsed  time.Duration
+	Panicked bool // at least one attempt panicked
+}
+
+// errNoRetry wraps errors the pool must not retry (a deterministic
+// simulation that timed out will time out again).
+var errNoRetry = errors.New("runner: permanent failure")
+
+// Pool executes tasks with bounded parallelism. Each attempt runs under
+// panic recovery — a crashing task is recorded as failed, never fatal to
+// the pool — and failed attempts retry up to Retries times with
+// exponential backoff, except errors wrapping ErrTimeout.
+type Pool struct {
+	// Workers bounds concurrency (<= 0: runtime.NumCPU()).
+	Workers int
+	// Retries is the number of re-attempts after the first failure.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per retry
+	// (0: 100 ms).
+	Backoff time.Duration
+	// OnDone, when set, observes each terminal result in completion
+	// order. Calls are serialized; ledger writers hang here.
+	OnDone func(TaskResult)
+}
+
+// Run executes all tasks and returns their terminal results indexed by
+// submission order (deterministic regardless of worker count).
+func (p *Pool) Run(tasks []Task) []TaskResult {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	results := make([]TaskResult, len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+	idx := make(chan int)
+	var done sync.Mutex // serializes OnDone
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				r := p.runOne(i, tasks[i])
+				results[i] = r
+				if p.OnDone != nil {
+					done.Lock()
+					p.OnDone(r)
+					done.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+func (p *Pool) runOne(i int, t Task) TaskResult {
+	start := time.Now()
+	res := TaskResult{ID: t.ID, Index: i}
+	backoff := p.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		val, panicked, err := runRecovered(t, attempt)
+		res.Value, res.Err = val, err
+		res.Panicked = res.Panicked || panicked
+		if err == nil || attempt > p.Retries || errors.Is(err, errNoRetry) || errors.Is(err, ErrTimeout) {
+			break
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// runRecovered executes one attempt with panic isolation: a panicking task
+// becomes an error result carrying the panic value.
+func runRecovered(t Task, attempt int) (val any, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	val, err = t.Run(attempt)
+	return val, false, err
+}

@@ -1,0 +1,248 @@
+// Package runner is the scenario-sweep orchestration subsystem: it expands
+// a declarative sweep specification (architecture × routing × nodes × trace
+// × load × seed-replication grid) into independent jobs, executes them on a
+// bounded worker pool with per-job panic isolation, bounded retry, and a
+// wall-clock timeout, streams results to a JSONL ledger that doubles as a
+// resume checkpoint, and aggregates the ledger into deterministic CSV/JSON
+// summaries. Every job is an isolated sim.Engine run, so the sweep is
+// embarrassingly parallel; per-job seeds derive from the sweep seed via
+// sim.Rand.Fork, making aggregate output byte-identical regardless of
+// worker count or completion order.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Profiles select what a job measures.
+const (
+	// ProfileFCT replays the trace as closed-loop TCP flows and records
+	// flow-completion-time percentiles (the Fig. 8/10 methodology).
+	ProfileFCT = "fct"
+	// ProfileBuffer replays the trace open-loop (paced UDP, no congestion
+	// control) and records switch buffer occupancy — the §7 / Table 3
+	// methodology, including its congestion-service tuning for HOHO/UCMP.
+	ProfileBuffer = "buffer"
+)
+
+// Spec is a declarative sweep: the cross product of its axes expands into
+// one job per (architecture, routing, nodes, trace, load, replication)
+// tuple. Zero-valued axes take the documented defaults, so a minimal spec
+// is just {"architectures": ["rotornet"]}.
+type Spec struct {
+	// Name labels the sweep in summaries.
+	Name string `json:"name"`
+
+	// Architectures to instantiate: clos, cthrough, jupiter, mordia,
+	// rotornet, opera, semioblivious.
+	Architectures []string `json:"architectures"`
+	// Routings apply to the rotornet architecture only (vlb, vlb+offload,
+	// direct, ucmp, hoho); other architectures use their native routing
+	// and collapse this axis. Default ["vlb"].
+	Routings []string `json:"routings,omitempty"`
+	// Nodes lists endpoint (ToR) counts. Default [8].
+	Nodes []int `json:"nodes,omitempty"`
+	// Traces lists workload size CDFs (kv, rpc, hadoop). Default ["rpc"].
+	Traces []string `json:"traces,omitempty"`
+	// Loads lists offered loads as fractions of aggregate host rate in
+	// (0, 1]. Default [0.3].
+	Loads []float64 `json:"loads,omitempty"`
+
+	// DurationMs is the measured window of virtual time. Default 20.
+	DurationMs int `json:"duration_ms,omitempty"`
+	// SliceDurationNs is the optical time-slice duration (0 = the
+	// architecture default of 100 µs).
+	SliceDurationNs int64 `json:"slice_duration_ns,omitempty"`
+	// Uplink is the optical uplinks per node (0 = architecture default).
+	Uplink int `json:"uplink,omitempty"`
+	// MaxHop bounds path search (0 = architecture default).
+	MaxHop int `json:"max_hop,omitempty"`
+	// Profile selects the measurement methodology: "fct" (default) or
+	// "buffer".
+	Profile string `json:"profile,omitempty"`
+
+	// Seed is the sweep master seed; per-job seeds fork from it. The zero
+	// value means 42 — set SeedSet to request a literal zero seed.
+	Seed uint64 `json:"seed,omitempty"`
+	// SeedSet marks Seed as explicitly chosen, making seed 0 expressible.
+	SeedSet bool `json:"seed_set,omitempty"`
+	// Replications runs each scenario this many times with decorrelated
+	// seeds (replication index r contributes to the fork label). Default 1.
+	Replications int `json:"replications,omitempty"`
+
+	// Retries is the number of re-attempts after a failed attempt.
+	Retries int `json:"retries,omitempty"`
+	// TimeoutMs bounds one job attempt's wall-clock time (0 = none). The
+	// check runs between simulation chunks, so it is best-effort with
+	// chunk granularity.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+var knownArchs = map[string]bool{
+	"clos": true, "cthrough": true, "jupiter": true, "mordia": true,
+	"rotornet": true, "opera": true, "semioblivious": true,
+}
+
+var knownRoutings = map[string]bool{
+	"vlb": true, "vlb+offload": true, "direct": true, "ucmp": true, "hoho": true,
+}
+
+// LoadSpec reads and validates a sweep spec from a JSON file.
+func LoadSpec(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadSpec(f)
+}
+
+// ReadSpec decodes and validates a sweep spec from JSON.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("runner: bad sweep spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// withDefaults returns a copy with every zero axis filled in.
+func (s Spec) withDefaults() Spec {
+	if len(s.Routings) == 0 {
+		s.Routings = []string{"vlb"}
+	}
+	if len(s.Nodes) == 0 {
+		s.Nodes = []int{8}
+	}
+	if len(s.Traces) == 0 {
+		s.Traces = []string{"rpc"}
+	}
+	if len(s.Loads) == 0 {
+		s.Loads = []float64{0.3}
+	}
+	if s.DurationMs <= 0 {
+		s.DurationMs = 20
+	}
+	if s.Profile == "" {
+		s.Profile = ProfileFCT
+	}
+	if s.Seed == 0 && !s.SeedSet {
+		s.Seed = 42
+	}
+	if s.Replications <= 0 {
+		s.Replications = 1
+	}
+	return s
+}
+
+// Validate rejects specs that would expand into unrunnable jobs.
+func (s *Spec) Validate() error {
+	if len(s.Architectures) == 0 {
+		return fmt.Errorf("runner: spec has no architectures")
+	}
+	for _, a := range s.Architectures {
+		if !knownArchs[a] {
+			return fmt.Errorf("runner: unknown architecture %q", a)
+		}
+	}
+	for _, r := range s.Routings {
+		if !knownRoutings[r] {
+			return fmt.Errorf("runner: unknown routing %q", r)
+		}
+	}
+	for _, n := range s.Nodes {
+		if n < 2 {
+			return fmt.Errorf("runner: node count %d < 2", n)
+		}
+	}
+	for _, l := range s.Loads {
+		if l <= 0 || l > 1 {
+			return fmt.Errorf("runner: load %g out of (0,1]", l)
+		}
+	}
+	if s.Profile != "" && s.Profile != ProfileFCT && s.Profile != ProfileBuffer {
+		return fmt.Errorf("runner: unknown profile %q (want fct|buffer)", s.Profile)
+	}
+	if s.Replications < 0 || s.Retries < 0 || s.TimeoutMs < 0 || s.DurationMs < 0 {
+		return fmt.Errorf("runner: negative replications/retries/timeout/duration")
+	}
+	return nil
+}
+
+// Expand materializes the grid into jobs in deterministic order:
+// architecture, routing, nodes, trace, load, replication — nested in that
+// order. Job IDs are stable across expansions of the same spec, and per-job
+// seeds depend only on the sweep seed and the job ID.
+func (s *Spec) Expand() []Job {
+	d := s.withDefaults()
+	var jobs []Job
+	for _, a := range d.Architectures {
+		routings := d.Routings
+		if a != "rotornet" {
+			// Only rotornet takes a routing scheme; other architectures
+			// collapse the axis to their native routing.
+			routings = []string{""}
+		}
+		for _, rt := range routings {
+			for _, n := range d.Nodes {
+				for _, tr := range d.Traces {
+					for _, l := range d.Loads {
+						for rep := 0; rep < d.Replications; rep++ {
+							sc := Scenario{
+								Arch: a, Routing: rt, Nodes: n, Trace: tr,
+								Load: l, Rep: rep,
+								DurationMs:      d.DurationMs,
+								SliceDurationNs: d.SliceDurationNs,
+								Uplink:          d.Uplink,
+								MaxHop:          d.MaxHop,
+								Profile:         d.Profile,
+							}
+							sc.ID = sc.id()
+							sc.Seed = jobSeed(d.Seed, sc.ID)
+							jobs = append(jobs, Job{ID: sc.ID, Seq: len(jobs), Scenario: sc})
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// ScenarioKey strips the replication suffix from a job ID, naming the
+// scenario a set of replicated jobs shares.
+func ScenarioKey(jobID string) string {
+	for i := len(jobID) - 1; i >= 0; i-- {
+		if jobID[i] == '/' {
+			return jobID[:i]
+		}
+	}
+	return jobID
+}
+
+// SortRecords orders ledger records by job ID (the canonical aggregate
+// order) and deduplicates by ID keeping the latest record, so a resumed
+// sweep's re-runs supersede earlier failures.
+func SortRecords(recs []Record) []Record {
+	last := make(map[string]int, len(recs))
+	for i, r := range recs {
+		last[r.JobID] = i
+	}
+	out := make([]Record, 0, len(last))
+	for i, r := range recs {
+		if last[r.JobID] == i {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].JobID < out[j].JobID })
+	return out
+}

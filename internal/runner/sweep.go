@@ -1,0 +1,180 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// SweepOptions tunes one sweep execution.
+type SweepOptions struct {
+	// Jobs bounds worker parallelism (<= 0: runtime.NumCPU()).
+	Jobs int
+	// LedgerPath is the JSONL result/checkpoint file (required).
+	LedgerPath string
+	// Resume skips jobs the ledger already records as successful. Without
+	// it, a pre-existing non-empty ledger is an error — mixing two sweeps'
+	// records silently would corrupt aggregation.
+	Resume bool
+	// Retries overrides the spec's retry count when >= 0.
+	Retries int
+	// Backoff is the base retry backoff (0: pool default).
+	Backoff time.Duration
+	// Progress, when set, receives one line per job completion in the
+	// sim progress-reporting convention (virtual/real speed ratio).
+	Progress io.Writer
+	// MetricsDir, when set, stores each job's telemetry registry (PR 1)
+	// as <sanitized-job-id>.json under it.
+	MetricsDir string
+}
+
+// SweepResult summarizes a sweep execution.
+type SweepResult struct {
+	Total   int // jobs in the expanded grid
+	Skipped int // already complete in the ledger (resume)
+	OK      int
+	Failed  int
+}
+
+// Sweep expands the spec and executes it: bounded worker pool, per-job
+// panic isolation and retry, JSONL checkpointing, optional resume. It
+// returns a summary; per-job outcomes are in the ledger. A sweep with
+// failed jobs is not itself an error — callers decide via SweepResult.
+func Sweep(spec *Spec, opt SweepOptions) (*SweepResult, error) {
+	if opt.LedgerPath == "" {
+		return nil, fmt.Errorf("runner: sweep needs a ledger path")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := spec.Expand()
+	sr := &SweepResult{Total: len(jobs)}
+
+	var done map[string]bool
+	if st, err := os.Stat(opt.LedgerPath); err == nil && st.Size() > 0 {
+		if !opt.Resume {
+			return nil, fmt.Errorf("runner: ledger %s exists; resume it or choose a fresh output", opt.LedgerPath)
+		}
+		recs, err := ReadLedger(opt.LedgerPath)
+		if err != nil {
+			return nil, err
+		}
+		done = CompletedIDs(recs)
+	}
+	if opt.MetricsDir != "" {
+		if err := os.MkdirAll(opt.MetricsDir, 0o755); err != nil {
+			return nil, fmt.Errorf("runner: metrics dir: %w", err)
+		}
+	}
+
+	pending := make([]Job, 0, len(jobs))
+	for _, j := range jobs {
+		if done[j.ID] {
+			sr.Skipped++
+			continue
+		}
+		pending = append(pending, j)
+	}
+	if len(pending) == 0 {
+		return sr, nil
+	}
+
+	ledger, err := OpenLedger(opt.LedgerPath)
+	if err != nil {
+		return nil, err
+	}
+	defer ledger.Close()
+
+	d := spec.withDefaults()
+	retries := d.Retries
+	if opt.Retries >= 0 {
+		retries = opt.Retries
+	}
+	timeout := time.Duration(d.TimeoutMs) * time.Millisecond
+	virtual := time.Duration(d.DurationMs) * time.Millisecond
+
+	tasks := make([]Task, len(pending))
+	for i, j := range pending {
+		sc := j.Scenario
+		tasks[i] = Task{ID: j.ID, Run: func(int) (any, error) {
+			ro := RunOpts{Timeout: timeout}
+			if opt.MetricsDir != "" {
+				f, err := os.Create(filepath.Join(opt.MetricsDir, sanitize(sc.ID)+".json"))
+				if err != nil {
+					return nil, err
+				}
+				defer f.Close()
+				ro.Metrics = f
+			}
+			return sc.Run(ro)
+		}}
+	}
+
+	completed := 0
+	var ledgerErr error
+	pool := &Pool{Workers: opt.Jobs, Retries: retries, Backoff: opt.Backoff,
+		OnDone: func(tr TaskResult) {
+			completed++
+			sc := pending[tr.Index].Scenario
+			rec := Record{
+				JobID:     tr.ID,
+				Scenario:  &sc,
+				Attempts:  tr.Attempts,
+				Panicked:  tr.Panicked,
+				ElapsedMs: float64(tr.Elapsed.Nanoseconds()) / 1e6,
+			}
+			if tr.Err != nil {
+				rec.Status = StatusFailed
+				rec.Error = tr.Err.Error()
+			} else {
+				rec.Status = StatusOK
+				rec.Result = tr.Value.(*Result)
+			}
+			if err := ledger.Append(rec); err != nil && ledgerErr == nil {
+				ledgerErr = err
+			}
+			if opt.Progress != nil {
+				progressLine(opt.Progress, completed, len(pending), rec, virtual, tr.Elapsed)
+			}
+		}}
+	for _, tr := range pool.Run(tasks) {
+		if tr.Err != nil {
+			sr.Failed++
+		} else {
+			sr.OK++
+		}
+	}
+	if ledgerErr != nil {
+		return sr, fmt.Errorf("runner: ledger write: %w", ledgerErr)
+	}
+	return sr, nil
+}
+
+// progressLine prints one completion in the sim.Progress convention: how
+// much virtual time the job covered and the virtual/real speed ratio.
+func progressLine(w io.Writer, done, total int, rec Record, virtual, elapsed time.Duration) {
+	ratio := 0.0
+	if elapsed > 0 {
+		ratio = float64(virtual) / float64(elapsed)
+	}
+	status := rec.Status
+	if rec.Attempts > 1 {
+		status = fmt.Sprintf("%s(x%d)", rec.Status, rec.Attempts)
+	}
+	fmt.Fprintf(w, "sweep: [%d/%d] %-9s %-40s %6.1fs %8.3gx real\n",
+		done, total, status, rec.JobID, elapsed.Seconds(), ratio)
+}
+
+// sanitize maps a job ID to a filesystem-safe name.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '_'
+		}
+		return r
+	}, id)
+}
