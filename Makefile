@@ -1,5 +1,5 @@
 # Tier-1: what every change must keep green.
-.PHONY: build test check bench sweep-smoke
+.PHONY: build test check bench bench-smoke sweep-smoke
 
 build:
 	go build ./...
@@ -15,11 +15,17 @@ test: build
 # tier-1 `make test`.
 check: build
 	go vet ./...
+	go build -tags simdebug ./...
 	go test -race . ./cmd/... ./internal/...
 	go test -run TestInvariants .
 
 bench:
 	go test -run xxx -bench . -benchtime 3x .
+
+# One iteration of every benchmark in the repo: catches benchmarks that no
+# longer compile or crash without paying for stable timings. CI runs this.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x ./...
 
 # Race-detector smoke of the sweep orchestrator: a tiny grid on 4 workers,
 # run fresh then resumed (the resume must skip everything). CI runs this.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -78,7 +79,49 @@ func run() (code int) {
 	metricsOut := flag.String("metrics-out", "", "write the last built network's metrics at exit (.json = JSON, else Prometheus text)")
 	traceOut := flag.String("trace-out", "", "write sampled in-band packet traces (all networks) as JSONL")
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	flag.Parse()
+
+	// Profiling wraps the whole run: the CPU profile covers every
+	// experiment executed, and the heap profile snapshots live allocations
+	// at exit (after a GC, so it reflects retained memory, not garbage).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oobench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "oobench:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oobench:", err)
+				if code == 0 {
+					code = 1
+				}
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "oobench:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
+	}
 
 	// Experiments build their networks internally; the openoptics.Observe
 	// hook attaches telemetry to each one as it is constructed.

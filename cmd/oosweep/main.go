@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 
 	"openoptics/internal/runner"
 )
@@ -31,7 +32,7 @@ func main() {
 
 func usage() int {
 	fmt.Fprintln(os.Stderr, "usage: oosweep <run|resume|list|aggregate> [flags]")
-	fmt.Fprintln(os.Stderr, "  run       -spec FILE -out DIR [-jobs N] [-resume] [-retries N] [-metrics] [-quiet]")
+	fmt.Fprintln(os.Stderr, "  run       -spec FILE -out DIR [-jobs N] [-resume] [-retries N] [-metrics] [-quiet] [-cpuprofile FILE] [-memprofile FILE]")
 	fmt.Fprintln(os.Stderr, "  resume    -spec FILE -out DIR [-jobs N] ...   (run with -resume implied)")
 	fmt.Fprintln(os.Stderr, "  list      -spec FILE")
 	fmt.Fprintln(os.Stderr, "  aggregate -out DIR")
@@ -69,10 +70,44 @@ func runSweep(args []string, resume bool) int {
 	retries := fs.Int("retries", -1, "override spec retry count (-1 = use spec)")
 	metrics := fs.Bool("metrics", false, "write each job's telemetry registry under <out>/metrics/")
 	quiet := fs.Bool("quiet", false, "suppress the per-job progress line")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (pprof) of the whole sweep to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	fs.Parse(args)
 	if *specPath == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "oosweep: run needs -spec and -out")
 		return 2
+	}
+	// The profiles cover the sweep end to end, all workers included —
+	// same semantics as oobench's -cpuprofile/-memprofile.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oosweep:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "oosweep:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oosweep:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "oosweep:", err)
+			}
+		}()
 	}
 	spec, err := runner.LoadSpec(*specPath)
 	if err != nil {

@@ -34,10 +34,10 @@ type AblationGuardbandResult struct {
 func AblationGuardband(p Params) (*AblationGuardbandResult, error) {
 	dur := p.dur(60*time.Millisecond, 20*time.Millisecond)
 	res := &AblationGuardbandResult{
-		GuardNs:   []int64{0, 200, 2_000, 20_000},
-		Loss:      make(map[int64]float64),
-		FCTp99:    make(map[int64]float64),
-		Fallbacks: make(map[int64]uint64),
+		GuardNs:    []int64{0, 200, 2_000, 20_000},
+		Loss:       make(map[int64]float64),
+		FCTp99:     make(map[int64]float64),
+		Fallbacks:  make(map[int64]uint64),
 		GoodputBps: make(map[int64]float64),
 	}
 	for _, g := range res.GuardNs {

@@ -1,0 +1,74 @@
+package core
+
+import "testing"
+
+func TestDequeFIFO(t *testing.T) {
+	var d Deque[int]
+	if d.Len() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for i := 0; i < 100; i++ {
+		d.PushBack(i)
+	}
+	for i := 0; i < 100; i++ {
+		if d.Front() != i {
+			t.Fatalf("front = %d, want %d", d.Front(), i)
+		}
+		if got := d.PopFront(); got != i {
+			t.Fatalf("pop = %d, want %d", got, i)
+		}
+	}
+	if d.Len() != 0 {
+		t.Fatalf("len = %d after draining", d.Len())
+	}
+}
+
+// Interleaved push/pop exercises head wraparound across growth boundaries.
+func TestDequeWraparound(t *testing.T) {
+	var d Deque[int]
+	next, want := 0, 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3+round%5; i++ {
+			d.PushBack(next)
+			next++
+		}
+		for i := 0; i < 2+round%4 && d.Len() > 0; i++ {
+			if got := d.PopFront(); got != want {
+				t.Fatalf("pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for d.Len() > 0 {
+		if got := d.PopFront(); got != want {
+			t.Fatalf("drain pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d of %d pushed", want, next)
+	}
+}
+
+// Steady-state cycling must not allocate once the ring is warm.
+func TestDequeZeroAllocSteadyState(t *testing.T) {
+	var d Deque[*int]
+	v := new(int)
+	for i := 0; i < 64; i++ {
+		d.PushBack(v)
+	}
+	for d.Len() > 0 {
+		d.PopFront()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		for i := 0; i < 32; i++ {
+			d.PushBack(v)
+		}
+		for d.Len() > 0 {
+			d.PopFront()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state cycle allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,9 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"hash/fnv"
-)
+import "fmt"
 
 // Proto enumerates transport protocols carried by simulated packets.
 type Proto uint8
@@ -31,26 +28,32 @@ func (k FlowKey) Reverse() FlowKey {
 		SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}
 }
 
+// FNV-1a parameters (matching hash/fnv's 64-bit variant).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
 // Hash returns a stable 64-bit hash of the five tuple, used for per-flow
-// multipath selection.
+// multipath selection. It is FNV-1a over the 13 big-endian tuple bytes,
+// unrolled inline so the hot path allocates nothing — the values are
+// bit-identical to the hash/fnv implementation the seed used.
 func (k FlowKey) Hash() uint64 {
-	h := fnv.New64a()
-	var b [13]byte
-	b[0] = byte(k.SrcHost >> 24)
-	b[1] = byte(k.SrcHost >> 16)
-	b[2] = byte(k.SrcHost >> 8)
-	b[3] = byte(k.SrcHost)
-	b[4] = byte(k.DstHost >> 24)
-	b[5] = byte(k.DstHost >> 16)
-	b[6] = byte(k.DstHost >> 8)
-	b[7] = byte(k.DstHost)
-	b[8] = byte(k.SrcPort >> 8)
-	b[9] = byte(k.SrcPort)
-	b[10] = byte(k.DstPort >> 8)
-	b[11] = byte(k.DstPort)
-	b[12] = byte(k.Proto)
-	h.Write(b[:])
-	return h.Sum64()
+	h := fnvOffset64
+	h = (h ^ uint64(byte(k.SrcHost>>24))) * fnvPrime64
+	h = (h ^ uint64(byte(k.SrcHost>>16))) * fnvPrime64
+	h = (h ^ uint64(byte(k.SrcHost>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.SrcHost))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstHost>>24))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstHost>>16))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstHost>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstHost))) * fnvPrime64
+	h = (h ^ uint64(byte(k.SrcPort>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.SrcPort))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstPort>>8))) * fnvPrime64
+	h = (h ^ uint64(byte(k.DstPort))) * fnvPrime64
+	h = (h ^ uint64(k.Proto)) * fnvPrime64
+	return h
 }
 
 func (k FlowKey) String() string {
@@ -133,7 +136,27 @@ type Packet struct {
 	// packet is untraced and every telemetry site skips it with one
 	// pointer check.
 	Trace *PktTrace
+
+	// flowHash caches Flow.Hash() so multi-hop forwarding computes the
+	// five-tuple hash once per packet; see FlowHash.
+	flowHash uint64
 }
+
+// FlowHash returns Flow.Hash(), computed on first use and cached on the
+// packet so per-hop table lookups skip the 13-byte FNV walk. The zero
+// cache value triggers recomputation, which yields the same hash — the
+// result is always identical to Flow.Hash().
+func (p *Packet) FlowHash() uint64 {
+	if p.flowHash == 0 {
+		p.flowHash = p.Flow.Hash()
+	}
+	return p.flowHash
+}
+
+// ClearFlowHash invalidates the cached five-tuple hash; callers that
+// mutate Flow on an existing packet (push-back relays rewriting the
+// destination host) must invoke it so FlowHash stays consistent.
+func (p *Packet) ClearFlowHash() { p.flowHash = 0 }
 
 // HeaderBytes is the fixed per-packet header overhead (Ethernet + IP + UDP
 // or TCP, amortized) used when converting payload to wire size.

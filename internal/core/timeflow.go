@@ -130,6 +130,14 @@ type Entry struct {
 	Actions  []Action // len > 1 forms a multipath group
 	Mode     MultipathMode
 	seq      int // insertion order, assigned by Table.Add
+
+	// Weighted-multipath state precomputed by Table.Add so selectAction
+	// does not walk the action weights on every packet: cum[i] is the
+	// cumulative weight through Actions[i] (nil when the group is
+	// unweighted — all weights are 1 or unset — and plain modulo hashing
+	// applies); wtotal is the final cumulative sum.
+	cum    []float64
+	wtotal float64
 }
 
 // Table is a time-flow table instance as installed on one endpoint node
@@ -143,6 +151,21 @@ type Table struct {
 	anyDst []*Entry            // entries with wildcard Dst
 	n      int
 	seq    int
+
+	// Lookup memoization for the stable-table fast path: the resolved
+	// best entry per (dst, arrival slice), filled lazily by Lookup and
+	// invalidated wholesale by Add/Clear. A nil value records a definite
+	// miss. The cache is bypassed whenever any entry matches on Src,
+	// because the resolved entry would then depend on a third key
+	// dimension.
+	cache        map[lookupKey]*Entry
+	srcSensitive bool
+}
+
+// lookupKey indexes the resolved-entry cache.
+type lookupKey struct {
+	dst NodeID
+	arr Slice
 }
 
 // NewTable returns an empty time-flow table.
@@ -175,6 +198,7 @@ func (t *Table) Add(e Entry) error {
 		return fmt.Errorf("timeflow: %d actions but multipath mode none", len(e.Actions))
 	}
 	e.seq = t.seq
+	e.precomputeWeights()
 	t.seq++
 	t.n++
 	ep := &e
@@ -183,7 +207,42 @@ func (t *Table) Add(e Entry) error {
 	} else {
 		t.byDst[e.Match.Dst] = insertSorted(t.byDst[e.Match.Dst], ep)
 	}
+	if e.Match.Src != NoNode {
+		t.srcSensitive = true
+	}
+	t.cache = nil
 	return nil
+}
+
+// precomputeWeights fills the entry's cumulative-weight table for weighted
+// multipath groups. The summation order matches the per-lookup walk the
+// seed performed, so selection stays bit-identical.
+func (e *Entry) precomputeWeights() {
+	e.cum, e.wtotal = nil, 0
+	if len(e.Actions) <= 1 {
+		return
+	}
+	weighted := false
+	for _, a := range e.Actions {
+		if a.Weight > 0 && a.Weight != 1 {
+			weighted = true
+			break
+		}
+	}
+	if !weighted {
+		return
+	}
+	e.cum = make([]float64, len(e.Actions))
+	var cum float64
+	for i, a := range e.Actions {
+		w := a.Weight
+		if w <= 0 {
+			w = 1
+		}
+		cum += w
+		e.cum[i] = cum
+	}
+	e.wtotal = cum
 }
 
 // Clear removes all entries (used when the controller re-deploys routing
@@ -192,6 +251,8 @@ func (t *Table) Clear() {
 	t.byDst = make(map[NodeID][]*Entry)
 	t.anyDst = nil
 	t.n = 0
+	t.cache = nil
+	t.srcSensitive = false
 }
 
 // insertSorted keeps the slice ordered best-first.
@@ -227,12 +288,30 @@ type LookupResult struct {
 // using pktHash (per-packet multipath) or flowHash (per-flow multipath).
 // ok is false if no entry matches — the packet has no route.
 func (t *Table) Lookup(arr Slice, src, dst NodeID, pktHash, flowHash uint64) (LookupResult, bool) {
-	best := t.match(t.byDst[dst], arr, src, dst)
-	if alt := t.match(t.anyDst, arr, src, dst); alt != nil && (best == nil || entryLess(alt, best)) {
-		best = alt
+	var best *Entry
+	cacheable := !t.srcSensitive
+	if cacheable {
+		if e, hit := t.cache[lookupKey{dst, arr}]; hit {
+			if e == nil {
+				return LookupResult{}, false
+			}
+			best = e
+		}
 	}
 	if best == nil {
-		return LookupResult{}, false
+		best = t.match(t.byDst[dst], arr, src, dst)
+		if alt := t.match(t.anyDst, arr, src, dst); alt != nil && (best == nil || entryLess(alt, best)) {
+			best = alt
+		}
+		if cacheable {
+			if t.cache == nil {
+				t.cache = make(map[lookupKey]*Entry)
+			}
+			t.cache[lookupKey{dst, arr}] = best
+		}
+		if best == nil {
+			return LookupResult{}, false
+		}
 	}
 	a := selectAction(best, pktHash, flowHash)
 	return LookupResult{Egress: a.Egress, DepSlice: a.DepSlice, SourceRoute: a.SourceRoute, Entry: best}, true
@@ -248,7 +327,8 @@ func (t *Table) match(list []*Entry, arr Slice, src, dst NodeID) *Entry {
 }
 
 // selectAction picks an action from a multipath group. Weighted groups use
-// weighted hashing so the long-run traffic split honors action weights.
+// weighted hashing so the long-run traffic split honors action weights;
+// the cumulative weights were precomputed at Add time.
 func selectAction(e *Entry, pktHash, flowHash uint64) Action {
 	if len(e.Actions) == 1 {
 		return e.Actions[0]
@@ -262,32 +342,14 @@ func selectAction(e *Entry, pktHash, flowHash uint64) Action {
 	default:
 		return e.Actions[0]
 	}
-	var total float64
-	weighted := false
-	for _, a := range e.Actions {
-		if a.Weight > 0 && a.Weight != 1 {
-			weighted = true
-		}
-		w := a.Weight
-		if w <= 0 {
-			w = 1
-		}
-		total += w
-	}
-	if !weighted {
+	if e.cum == nil {
 		return e.Actions[h%uint64(len(e.Actions))]
 	}
-	// Map the hash to [0, total) and walk the cumulative weights.
-	x := float64(h%1000003) / 1000003 * total
-	var cum float64
-	for _, a := range e.Actions {
-		w := a.Weight
-		if w <= 0 {
-			w = 1
-		}
-		cum += w
-		if x < cum {
-			return a
+	// Map the hash to [0, wtotal) and walk the cumulative weights.
+	x := float64(h%1000003) / 1000003 * e.wtotal
+	for i, c := range e.cum {
+		if x < c {
+			return e.Actions[i]
 		}
 	}
 	return e.Actions[len(e.Actions)-1]

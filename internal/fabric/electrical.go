@@ -33,7 +33,7 @@ type ElectricalFabric struct {
 
 type elecPort struct {
 	link    *Link
-	fifo    []*core.Packet
+	fifo    core.Deque[*core.Packet]
 	bytes   int64
 	busy    bool
 	maxSeen int64
@@ -69,39 +69,54 @@ func (f *ElectricalFabric) Receive(pkt *core.Packet, port core.PortID) {
 		f.traceDrop(pkt, core.DropElecRoute)
 		return
 	}
-	p := f.ports[fp]
-	f.eng.AfterClass(f.PipelineDelay, sim.ClassFabricElec, func() {
-		// Drop-tail decision at enqueue time, after the pipeline.
-		if p.bytes+int64(pkt.Size) > f.queueCap() {
-			f.DropsQueue++
-			f.traceDrop(pkt, core.DropElecQueue)
-			return
-		}
-		p.fifo = append(p.fifo, pkt)
-		p.bytes += int64(pkt.Size)
-		if p.bytes > p.maxSeen {
-			p.maxSeen = p.bytes
-		}
-		f.drain(p)
-	})
+	f.eng.AfterEvent(f.PipelineDelay, sim.ClassFabricElec, (*elecEnqueue)(f), pkt, int64(fp))
+}
+
+// elecEnqueue is the post-pipeline enqueue step as a sim.Action: arg is the
+// packet, v the fabric port index. The drop-tail decision happens here, at
+// enqueue time after the pipeline delay.
+type elecEnqueue ElectricalFabric
+
+func (a *elecEnqueue) RunEvent(arg any, v int64) {
+	f := (*ElectricalFabric)(a)
+	pkt := arg.(*core.Packet)
+	p := f.ports[int(v)]
+	if p.bytes+int64(pkt.Size) > f.queueCap() {
+		f.DropsQueue++
+		f.traceDrop(pkt, core.DropElecQueue)
+		return
+	}
+	p.fifo.PushBack(pkt)
+	p.bytes += int64(pkt.Size)
+	if p.bytes > p.maxSeen {
+		p.maxSeen = p.bytes
+	}
+	f.drain(p)
 }
 
 // drain pulls packets from the port queue at line rate.
 func (f *ElectricalFabric) drain(p *elecPort) {
-	if p.busy || len(p.fifo) == 0 {
+	if p.busy || p.fifo.Len() == 0 {
 		return
 	}
 	p.busy = true
-	pkt := p.fifo[0]
-	p.fifo = p.fifo[1:]
+	pkt := p.fifo.PopFront()
 	p.bytes -= int64(pkt.Size)
 	ser := p.link.SerializationDelay(pkt.Size)
 	p.link.Send(f, pkt)
 	f.Forwarded++
-	f.eng.AfterClass(ser, sim.ClassFabricElec, func() {
-		p.busy = false
-		f.drain(p)
-	})
+	f.eng.AfterEvent(ser, sim.ClassFabricElec, (*elecTxDone)(f), p, 0)
+}
+
+// elecTxDone frees the port (arg) when serialization completes and services
+// the next queued packet.
+type elecTxDone ElectricalFabric
+
+func (a *elecTxDone) RunEvent(arg any, _ int64) {
+	f := (*ElectricalFabric)(a)
+	p := arg.(*elecPort)
+	p.busy = false
+	f.drain(p)
 }
 
 // traceDrop flushes a sampled packet's trace with a fabric-side drop.

@@ -27,6 +27,14 @@ type Endpoint struct {
 	Port core.PortID
 }
 
+// RunEvent implements sim.Action: deliver an in-flight packet (arg) to the
+// endpoint's device. Links schedule delivery through this instead of a
+// closure — one event per packet per hop makes this the hottest scheduling
+// site in the simulator, and the pre-bound form allocates nothing.
+func (ep *Endpoint) RunEvent(arg any, _ int64) {
+	ep.Dev.Receive(arg.(*core.Packet), ep.Port)
+}
+
 // Link is a full-duplex wire between two endpoints. Each direction
 // serializes packets FIFO at the link bandwidth and delivers them after
 // the propagation delay, which is how the simulator realizes the
@@ -81,15 +89,15 @@ func (l *Link) SendCutThrough(from Device, pkt *core.Packet) { l.send(from, pkt,
 func (l *Link) send(from Device, pkt *core.Packet, cutThrough bool) {
 	ser := l.SerializationDelay(pkt.Size)
 	now := l.eng.Now()
-	var to Endpoint
+	var to *Endpoint
 	var free *int64
 	switch from {
 	case l.a.Dev:
-		to, free = l.b, &l.freeAB
+		to, free = &l.b, &l.freeAB
 		l.SentAB++
 		l.BytesAB += uint64(pkt.Size)
 	case l.b.Dev:
-		to, free = l.a, &l.freeBA
+		to, free = &l.a, &l.freeBA
 		l.SentBA++
 		l.BytesBA += uint64(pkt.Size)
 	default:
@@ -104,8 +112,7 @@ func (l *Link) send(from Device, pkt *core.Packet, cutThrough bool) {
 	if cutThrough {
 		arrive = start + l.PropDelay
 	}
-	dev, port := to.Dev, to.Port
-	l.eng.AtClass(arrive, sim.ClassLinkDeliver, func() { dev.Receive(pkt, port) })
+	l.eng.AtEvent(arrive, sim.ClassLinkDeliver, to, pkt, 0)
 }
 
 // Other returns the endpoint opposite to the given device.

@@ -186,9 +186,19 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 		f.traceDrop(pkt, core.DropNoCircuit)
 		return
 	}
-	link := f.ports[out]
 	f.Forwarded++
-	f.eng.AfterClass(f.CutThroughDelay, sim.ClassFabricOptical, func() { link.SendCutThrough(f, pkt) })
+	f.eng.AfterEvent(f.CutThroughDelay, sim.ClassFabricOptical, (*opticalRelay)(f), pkt, int64(out))
+}
+
+// opticalRelay is the fabric's sim.Action for the cut-through hop: arg is
+// the in-flight packet, v the fabric-side output port index resolved at
+// Receive time. A defined-type cast of the fabric itself, so scheduling it
+// carries no per-event state beyond the two operands.
+type opticalRelay OpticalFabric
+
+func (a *opticalRelay) RunEvent(arg any, v int64) {
+	f := (*OpticalFabric)(a)
+	f.ports[int(v)].SendCutThrough(f, arg.(*core.Packet))
 }
 
 // traceDrop flushes a sampled packet's trace with a fabric-side drop. The

@@ -105,12 +105,12 @@ type Host struct {
 	Tracer *telemetry.Tracer
 
 	// TX machinery.
-	ready   []txItem                 // sendable now
+	ready   core.Deque[txItem]       // sendable now
 	held    map[core.NodeID][]txItem // held per destination node
 	heldB   map[core.NodeID]int64    // held bytes per destination
 	queuedB int64                    // ready+held bytes (segment queue)
 	busy    bool
-	waiters []func() // callbacks once segment-queue space frees
+	waiters core.Deque[func()] // callbacks once segment-queue space frees
 
 	flowSent map[core.FlowKey]int64 // flow aging
 
@@ -172,7 +172,7 @@ func (h *Host) Send(pkt *core.Packet) bool {
 		h.heldB[pkt.DstNode] += int64(pkt.Size)
 		h.pendingByDst[pkt.DstNode] += int64(pkt.Size)
 	} else {
-		h.ready = append(h.ready, it)
+		h.ready.PushBack(it)
 		h.pump()
 	}
 	return true
@@ -180,7 +180,7 @@ func (h *Host) Send(pkt *core.Packet) bool {
 
 // NotifySpace registers a one-shot callback invoked when segment-queue
 // space frees up (application resume).
-func (h *Host) NotifySpace(fn func()) { h.waiters = append(h.waiters, fn) }
+func (h *Host) NotifySpace(fn func()) { h.waiters.PushBack(fn) }
 
 // QueuedBytes returns the current segment-queue occupancy.
 func (h *Host) QueuedBytes() int64 { return h.queuedB }
@@ -209,11 +209,10 @@ func (h *Host) mustHold(it txItem) bool {
 
 // pump drives the NIC TX at line rate via the link's serialization clock.
 func (h *Host) pump() {
-	if h.busy || h.link == nil || len(h.ready) == 0 {
+	if h.busy || h.link == nil || h.ready.Len() == 0 {
 		return
 	}
-	it := h.ready[0]
-	h.ready = h.ready[1:]
+	it := h.ready.PopFront()
 	// Re-check holds at transmit time: a push-back may have arrived
 	// after enqueue.
 	if h.mustHold(it) {
@@ -231,12 +230,19 @@ func (h *Host) pump() {
 	}
 	h.link.Send(h, it.pkt)
 	ser := h.link.SerializationDelay(size)
-	h.eng.AfterClass(ser, sim.ClassHostTx, func() {
-		h.busy = false
-		h.queuedB -= int64(size)
-		h.wakeWaiters()
-		h.pump()
-	})
+	h.eng.AfterEvent(ser, sim.ClassHostTx, (*txDoneAction)(h), nil, int64(size))
+}
+
+// txDoneAction fires when the NIC finishes serializing a packet (v is its
+// size in bytes): free the TX budget, wake blocked senders, keep pumping.
+type txDoneAction Host
+
+func (a *txDoneAction) RunEvent(_ any, v int64) {
+	h := (*Host)(a)
+	h.busy = false
+	h.queuedB -= v
+	h.wakeWaiters()
+	h.pump()
 }
 
 // wakeWaiters resumes one blocked sender per freed packet (FIFO). Waking
@@ -244,12 +250,11 @@ func (h *Host) pump() {
 // connection woken here either sends into the freed space or, if it is
 // window-limited instead, resumes through its ACK path.
 func (h *Host) wakeWaiters() {
-	if len(h.waiters) == 0 {
+	if h.waiters.Len() == 0 {
 		return
 	}
-	for len(h.waiters) > 0 && h.queuedB+core.MTU <= h.Cfg.segCap() {
-		fn := h.waiters[0]
-		h.waiters = h.waiters[1:]
+	for h.waiters.Len() > 0 && h.queuedB+core.MTU <= h.Cfg.segCap() {
+		fn := h.waiters.PopFront()
 		fn()
 	}
 }
@@ -269,7 +274,7 @@ func (h *Host) release(dst core.NodeID) {
 		}
 		h.heldB[dst] -= int64(it.pkt.Size)
 		h.pendingByDst[dst] -= int64(it.pkt.Size)
-		h.ready = append(h.ready, it)
+		h.ready.PushBack(it)
 	}
 	h.held[dst] = still
 	h.pump()
@@ -358,7 +363,7 @@ func (h *Host) park(pkt *core.Packet) {
 		h.Counters.Returned++
 		// Returns bypass the segment queue: the agent is a dedicated
 		// application isolated from the main data path.
-		h.ready = append(h.ready, txItem{pkt: pkt})
+		h.ready.PushBack(txItem{pkt: pkt})
 		h.queuedB += int64(pkt.Size)
 		h.pump()
 	})

@@ -1,0 +1,9 @@
+//go:build !simdebug
+
+package sim
+
+// simDebug gates the past-time scheduling panic in Engine.AtClass. Normal
+// builds clamp past-time schedules to "now" so long runs keep going; build
+// with `-tags simdebug` to panic at the offending call instead. The
+// constant folds away — the release path pays nothing for the check.
+const simDebug = false

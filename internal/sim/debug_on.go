@@ -1,0 +1,9 @@
+//go:build simdebug
+
+package sim
+
+// simDebug (see debug_off.go): this build panics when device logic
+// schedules an event in the virtual past instead of silently clamping it
+// to "now". Use `go test -tags simdebug ./...` to hunt down causality
+// violations in device code.
+const simDebug = true

@@ -1,13 +1,12 @@
 // Package sim provides the discrete-event simulation substrate OpenOptics
 // runs on when no physical Tofino/OCS hardware is available: a
-// nanosecond-resolution virtual clock, an event heap, and deterministic
-// random number generation. All devices (switches, hosts, fabrics) execute
-// on one Engine, which serializes their event handlers — device state needs
-// no locking.
+// nanosecond-resolution virtual clock, a calendar-queue event scheduler,
+// and deterministic random number generation. All devices (switches, hosts,
+// fabrics) execute on one Engine, which serializes their event handlers —
+// device state needs no locking.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -15,11 +14,12 @@ import (
 
 // Engine is a single-threaded discrete-event simulator. Events scheduled
 // for the same instant fire in scheduling order (stable), which keeps runs
-// bit-for-bit reproducible.
+// bit-for-bit reproducible. Event storage is the calendar-queue/overflow
+// hybrid in sched.go; steady-state scheduling allocates nothing.
 type Engine struct {
 	now    int64
 	seq    uint64
-	events eventHeap
+	sched  scheduler
 	halted bool
 	// Processed counts executed events (diagnostics).
 	Processed uint64
@@ -41,8 +41,9 @@ func New() *Engine {
 func (e *Engine) Now() int64 { return e.now }
 
 // At schedules fn to run at virtual time t. Scheduling in the past is an
-// error in device logic; it is clamped to "now" to keep the run going but
-// flagged via panic in race-free code paths during testing.
+// error in device logic; normal builds clamp it to "now" to keep the run
+// going, while `-tags simdebug` builds panic at the offending call so
+// tests can pinpoint the code path (see debug_off.go / debug_on.go).
 func (e *Engine) At(t int64, fn func()) { e.AtClass(t, ClassOther, fn) }
 
 // AtClass schedules fn at time t under a handler class, so the profiler
@@ -52,10 +53,42 @@ func (e *Engine) AtClass(t int64, class Class, fn func()) {
 		panic("sim: nil event fn")
 	}
 	if t < e.now {
+		if simDebug {
+			panic(fmt.Sprintf("sim: scheduling event at t=%d in the past (now=%d)", t, e.now))
+		}
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{t: t, seq: e.seq, class: class, fn: fn})
+	e.sched.push(t, e.seq, eventRec{fn: fn, class: class})
+}
+
+// AtEvent schedules a pre-bound action at time t: at dispatch, act.RunEvent
+// is called with the recorded operands. This is the closure-free fast path
+// for per-packet machinery — the hot forwarding loops (link delivery,
+// ingress pipelines, egress drains) schedule millions of events per
+// simulated second, and a closure per event is the single largest source
+// of allocation and GC pressure. Semantics (ordering, past-time clamping)
+// are identical to AtClass.
+func (e *Engine) AtEvent(t int64, class Class, act Action, arg any, v int64) {
+	if act == nil {
+		panic("sim: nil event action")
+	}
+	if t < e.now {
+		if simDebug {
+			panic(fmt.Sprintf("sim: scheduling event at t=%d in the past (now=%d)", t, e.now))
+		}
+		t = e.now
+	}
+	e.seq++
+	e.sched.push(t, e.seq, eventRec{act: act, arg: arg, v: v, class: class})
+}
+
+// AfterEvent is AtEvent d nanoseconds from now.
+func (e *Engine) AfterEvent(d int64, class Class, act Action, arg any, v int64) {
+	if d < 0 {
+		d = 0
+	}
+	e.AtEvent(e.now+d, class, act, arg, v)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -108,22 +141,28 @@ func (e *Engine) Run() {
 // at the last executed event's time (or deadline if events remain).
 func (e *Engine) RunUntil(deadline int64) {
 	e.halted = false
-	for len(e.events) > 0 && !e.halted {
-		ev := e.events[0]
-		if ev.t > deadline {
+	for e.sched.n > 0 && !e.halted {
+		b := e.sched.min()
+		if (*b)[0].t > deadline {
 			e.now = deadline
 			return
 		}
-		heap.Pop(&e.events)
-		e.now = ev.t
+		t, rec := e.sched.take(b)
+		e.now = t
 		e.Processed++
-		e.classCount[ev.class]++
+		e.classCount[rec.class]++
 		if e.profiling {
 			start := time.Now()
-			ev.fn()
-			e.classWall[ev.class] += time.Since(start).Nanoseconds()
+			if rec.fn != nil {
+				rec.fn()
+			} else {
+				rec.act.RunEvent(rec.arg, rec.v)
+			}
+			e.classWall[rec.class] += time.Since(start).Nanoseconds()
+		} else if rec.fn != nil {
+			rec.fn()
 		} else {
-			ev.fn()
+			rec.act.RunEvent(rec.arg, rec.v)
 		}
 	}
 	// The queue drained (or halted): virtual time still passes to the
@@ -141,31 +180,4 @@ func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + int64(d)) }
 func (e *Engine) Halt() { e.halted = true }
 
 // Pending returns the number of queued events (diagnostics only).
-func (e *Engine) Pending() int { return len(e.events) }
-
-type event struct {
-	t     int64
-	seq   uint64
-	class Class
-	fn    func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
+func (e *Engine) Pending() int { return e.sched.n }

@@ -97,10 +97,26 @@ func TestHalt(t *testing.T) {
 func TestPastSchedulingClamps(t *testing.T) {
 	e := New()
 	var at int64 = -1
+	panicked := false
 	e.At(100, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
 		e.At(50, func() { at = e.Now() }) // in the past: clamp to now
 	})
 	e.Run()
+	if simDebug {
+		// `-tags simdebug` builds panic at the offending call instead.
+		if !panicked {
+			t.Fatal("past scheduling did not panic under simdebug")
+		}
+		return
+	}
+	if panicked {
+		t.Fatal("past scheduling panicked in a normal build")
+	}
 	if at != 100 {
 		t.Fatalf("past event ran at %d, want 100", at)
 	}

@@ -1,0 +1,244 @@
+package sim
+
+import "math"
+
+// This file is the engine's event store: a calendar-queue timing wheel for
+// near-future events (the overwhelmingly common case — per-slice rotations,
+// link serialization, pacing ticks) backed by an overflow 4-ary heap for
+// far-future ones, with event payloads (handler closure + profiling class)
+// kept in a slab with a free list. The structure deliberately mirrors the
+// paper's §5 calendar queues: the wheel buckets are "slices" of real time
+// and the cursor is the rotation. Steady-state scheduling performs zero
+// heap allocations — every backing array (buckets, overflow, slab, free
+// list) is reused across events.
+//
+// Determinism: the scheduler realizes the exact (t, seq) total order the
+// seed engine's binary heap produced. Wheel buckets are min-heaps on
+// (t, seq); the overflow heap uses the same key; pop always compares the
+// earliest wheel candidate against the overflow top, so no structural
+// migration can reorder events.
+
+// Wheel geometry. Bucket width 4096 ns and 256 buckets give a ~1.05 ms
+// horizon: slice rotations (tens to hundreds of µs), wire propagation, and
+// serialization completions all land in the wheel, while RTO checks and
+// long timers overflow to the heap. Finer geometries (512 ns × 1024,
+// 2048 ns × 512) measured slower end to end: shallower per-bucket heaps
+// don't pay for the extra cursor advances and colder bucket arrays.
+const (
+	wheelShift   = 12 // log2 of bucket width in ns
+	bucketWidth  = int64(1) << wheelShift
+	wheelBuckets = 256
+	wheelMask    = wheelBuckets - 1
+	wheelSpan    = bucketWidth * wheelBuckets
+)
+
+// item is one queued event's sort key plus the slab slot of its payload.
+type item struct {
+	t    int64
+	seq  uint64
+	slot int32
+}
+
+// itemLess is the engine's total order: time, then scheduling order.
+func itemLess(a, b item) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// Action is a pre-bound event target for the closure-free scheduling path
+// (Engine.AtEvent/AfterEvent): a long-lived object whose RunEvent is
+// invoked with the operands recorded at scheduling time. Devices convert
+// themselves (or a tiny adapter) to an Action once at construction; the
+// per-event cost is then three slab stores instead of a closure
+// allocation. arg carries a pointer operand (packet, queue); v carries a
+// scalar (port number, byte count) — whatever the adapter defined.
+type Action interface {
+	RunEvent(arg any, v int64)
+}
+
+// eventRec is the slab-resident payload of one queued event: either a
+// closure (fn) or a pre-bound action with its operands.
+type eventRec struct {
+	fn    func()
+	act   Action
+	arg   any
+	v     int64
+	class Class
+}
+
+// scheduler is the hybrid calendar-queue/heap event store.
+type scheduler struct {
+	slab []eventRec
+	free []int32 // reusable slab slots
+
+	wheel       [wheelBuckets]bucketHeap
+	wheelCount  int // events resident in the wheel
+	cursor      int // bucket covering [cursorStart, cursorStart+bucketWidth)
+	cursorStart int64
+	wheelEnd    int64 // exclusive horizon of the wheel window
+
+	overflow bucketHeap // events outside [cursorStart, wheelEnd)
+
+	n int // total queued events
+}
+
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+// anchor re-bases the wheel window so t falls in the cursor bucket. Only
+// legal when the wheel is empty (bucket indices would alias otherwise).
+func (s *scheduler) anchor(t int64) {
+	s.cursor = int(t>>wheelShift) & wheelMask
+	s.cursorStart = (t >> wheelShift) << wheelShift
+	s.wheelEnd = satAdd(s.cursorStart, wheelSpan)
+}
+
+// push enqueues an event at time t with scheduling order seq.
+func (s *scheduler) push(t int64, seq uint64, rec eventRec) {
+	var slot int32
+	if k := len(s.free); k > 0 {
+		slot = s.free[k-1]
+		s.free = s.free[:k-1]
+	} else {
+		slot = int32(len(s.slab))
+		s.slab = append(s.slab, eventRec{})
+	}
+	s.slab[slot] = rec
+	it := item{t: t, seq: seq, slot: slot}
+	if s.n == 0 {
+		s.anchor(t)
+	}
+	if t >= s.cursorStart && t < s.wheelEnd {
+		s.wheel[int(t>>wheelShift)&wheelMask].push(it)
+		s.wheelCount++
+	} else {
+		// Far future — or, rarely, between "now" and a wheel window that
+		// jumped ahead (idle engine at a deadline with a distant timer
+		// pending). Both cases are correct here: min() always compares
+		// the overflow top against the wheel candidate.
+		s.overflow.push(it)
+	}
+	s.n++
+}
+
+// min returns the heap holding the globally earliest event at its top,
+// advancing the cursor past empty buckets and migrating overflow events
+// that entered the wheel window. Requires n > 0.
+func (s *scheduler) min() *bucketHeap {
+	if s.wheelCount == 0 {
+		// Re-base the wheel at the overflow's earliest event so upcoming
+		// inserts and migrations use the buckets again.
+		s.anchor(s.overflow[0].t)
+		s.drain()
+		if s.wheelCount == 0 {
+			// Saturated horizon (times near MaxInt64): serve from overflow.
+			return &s.overflow
+		}
+	}
+	for len(s.wheel[s.cursor]) == 0 {
+		s.advance()
+	}
+	b := &s.wheel[s.cursor]
+	if len(s.overflow) > 0 && itemLess(s.overflow[0], (*b)[0]) {
+		return &s.overflow
+	}
+	return b
+}
+
+// take pops the top event from b (as returned by min) and recycles its
+// slab slot, returning the payload.
+func (s *scheduler) take(b *bucketHeap) (t int64, rec eventRec) {
+	it := b.pop()
+	if b != &s.overflow {
+		s.wheelCount--
+	}
+	s.n--
+	r := &s.slab[it.slot]
+	rec = *r
+	*r = eventRec{} // drop closure/operand references; the slot is free for reuse
+	s.free = append(s.free, it.slot)
+	return it.t, rec
+}
+
+// advance rotates the cursor to the next bucket, extending the horizon by
+// one bucket width and pulling newly covered overflow events in.
+func (s *scheduler) advance() {
+	s.cursor = (s.cursor + 1) & wheelMask
+	s.cursorStart = satAdd(s.cursorStart, bucketWidth)
+	s.wheelEnd = satAdd(s.cursorStart, wheelSpan)
+	s.drain()
+}
+
+// drain migrates overflow events that now fall inside the wheel window.
+// An overflow top behind the window (possible after the window jumped
+// ahead) blocks migration; min() serves it directly via comparison.
+func (s *scheduler) drain() {
+	for len(s.overflow) > 0 {
+		t := s.overflow[0].t
+		if t < s.cursorStart || t >= s.wheelEnd {
+			return
+		}
+		it := s.overflow.pop()
+		s.wheel[int(t>>wheelShift)&wheelMask].push(it)
+		s.wheelCount++
+	}
+}
+
+// bucketHeap is a 4-ary min-heap of items ordered by (t, seq). Values are
+// stored inline (no pointers, no interface boxing) and the backing array
+// is retained across fill/drain cycles, so steady-state push/pop performs
+// no allocations. 4-ary trades slightly more comparisons per level for
+// half the depth and better cache behavior than binary.
+type bucketHeap []item
+
+func (h *bucketHeap) push(it item) {
+	s := append(*h, it)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !itemLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+func (h *bucketHeap) pop() item {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if itemLess(s[j], s[m]) {
+				m = j
+			}
+		}
+		if !itemLess(s[m], s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return top
+}

@@ -1,0 +1,292 @@
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// These tests pin down the calendar-queue scheduler's edge behavior: the
+// RunUntil fence sitting exactly on an event, halting with same-instant
+// events still queued, periodic timers whose interval exceeds the wheel
+// horizon, saturated far-future timestamps, the zero-allocation guarantee,
+// and a differential check against the straightforward container/heap
+// scheduler the seed engine used.
+
+// TestRunUntilDeadlineOnEvent: an event whose timestamp equals the RunUntil
+// deadline executes (the fence is inclusive), and an event one nanosecond
+// later does not.
+func TestRunUntilDeadlineOnEvent(t *testing.T) {
+	e := New()
+	var fired []int64
+	e.At(100, func() { fired = append(fired, e.Now()) })
+	e.At(101, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(100)
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("fired = %v, want exactly the t=100 event", fired)
+	}
+	if e.Now() != 100 {
+		t.Fatalf("now = %d, want 100", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.RunUntil(101)
+	if len(fired) != 2 || fired[1] != 101 {
+		t.Fatalf("fired after resume = %v", fired)
+	}
+}
+
+// TestHaltWithSameInstantPending: Halt inside a handler stops dispatch
+// immediately, leaving later same-instant events queued; resuming runs them
+// at the same virtual time in the original order.
+func TestHaltWithSameInstantPending(t *testing.T) {
+	e := New()
+	var got []int
+	e.At(5, func() { got = append(got, 1); e.Halt() })
+	e.At(5, func() { got = append(got, 2) })
+	e.At(5, func() { got = append(got, 3) })
+	e.Run()
+	if len(got) != 1 {
+		t.Fatalf("ran %v before halt, want just the first", got)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %d, want 5", e.Now())
+	}
+	e.Run()
+	if len(got) != 3 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("resume order = %v, want [1 2 3]", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now after resume = %d, want 5 (same instant)", e.Now())
+	}
+}
+
+// TestEveryAcrossWheelBoundary: a periodic timer whose interval exceeds the
+// wheel span lives in the overflow heap and must still tick exactly on
+// schedule as events migrate into (or are served past) the wheel window.
+func TestEveryAcrossWheelBoundary(t *testing.T) {
+	if interval := int64(5 * wheelSpan / 2); interval <= wheelSpan {
+		t.Fatal("test interval must exceed the wheel span")
+	}
+	e := New()
+	interval := int64(5 * wheelSpan / 2) // 2.5 horizons
+	var ticks []int64
+	e.Every(0, interval, func() bool {
+		ticks = append(ticks, e.Now())
+		return len(ticks) < 8
+	})
+	// Interleave short-range traffic so the wheel window keeps advancing.
+	e.Every(1, bucketWidth/2, func() bool { return e.Now() < 10*interval })
+	e.Run()
+	if len(ticks) != 8 {
+		t.Fatalf("ticks = %d, want 8", len(ticks))
+	}
+	for i, at := range ticks {
+		if want := int64(i) * interval; at != want {
+			t.Fatalf("tick %d at %d, want %d", i, at, want)
+		}
+	}
+}
+
+// TestFarFutureTimestamps: timestamps adjacent to MaxInt64 must neither
+// overflow wheel arithmetic nor stall; the engine serves them from the
+// overflow heap in order.
+func TestFarFutureTimestamps(t *testing.T) {
+	e := New()
+	var got []int64
+	e.At(math.MaxInt64, func() { got = append(got, e.Now()) })
+	e.At(math.MaxInt64-1, func() { got = append(got, e.Now()) })
+	e.At(10, func() { got = append(got, e.Now()) })
+	e.Run()
+	want := []int64{10, math.MaxInt64 - 1, math.MaxInt64}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got = %v, want %v", got, want)
+	}
+}
+
+// TestWindowJumpThenNearEvent: after the wheel anchors at a far-future
+// event, a handler scheduling before the (re-based) window start must not
+// be lost or reordered — the push lands in overflow and min() serves it by
+// comparison.
+func TestWindowJumpThenNearEvent(t *testing.T) {
+	e := New()
+	var got []int64
+	record := func() { got = append(got, e.Now()) }
+	e.At(2*wheelSpan, func() {
+		record()
+		// Anchor is now near 2*wheelSpan; schedule a same-instant and a
+		// next-tick event plus one far ahead again.
+		e.At(e.Now(), record)
+		e.At(e.Now()+1, record)
+		e.At(e.Now()+10*wheelSpan, record)
+	})
+	e.RunUntil(2 * wheelSpan)
+	e.Run()
+	want := []int64{2 * wheelSpan, 2 * wheelSpan, 2*wheelSpan + 1, 12 * wheelSpan}
+	if len(got) != 4 {
+		t.Fatalf("got %d events: %v", len(got), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestScheduleZeroAllocSteadyState: once the slab and bucket arrays are
+// warm, the schedule → dispatch cycle must not allocate.
+func TestScheduleZeroAllocSteadyState(t *testing.T) {
+	e := New()
+	act := nopAction{}
+	for i := 0; i < 1024; i++ {
+		e.AtEvent(int64(i), ClassOther, act, nil, 0)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AtEvent(e.Now()+10, ClassOther, act, nil, 0)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule+run allocates %.1f/op, want 0", allocs)
+	}
+}
+
+type nopAction struct{}
+
+func (nopAction) RunEvent(any, int64) {}
+
+// --- differential test against a container/heap reference ---------------
+
+// refEvent / refQueue reimplement the seed engine's event store: a binary
+// heap of (t, seq) pointers via container/heap. The calendar queue must
+// reproduce its execution order exactly.
+type refEvent struct {
+	t   int64
+	seq uint64
+	id  int
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int)    { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)      { *q = append(*q, x.(*refEvent)) }
+func (q *refQueue) Pop() any        { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q *refQueue) next() *refEvent { return heap.Pop(q).(*refEvent) }
+func (q *refQueue) add(e *refEvent) { heap.Push(q, e) }
+
+// TestDifferentialVsHeap drives the calendar-queue engine and the reference
+// heap with an identical randomized schedule — bursty near-future times,
+// same-instant clusters, overflow-range timers, and handler-scheduled
+// followups — and asserts the execution orders are identical.
+func TestDifferentialVsHeap(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		// Generate the root schedule plus deterministic followup rules:
+		// event i, when executed, schedules followups at now+delta.
+		type spec struct {
+			t         int64
+			followups []int64 // deltas; negative = past (clamped)
+		}
+		n := 200 + rng.Intn(200)
+		specs := make([]spec, n)
+		for i := range specs {
+			var tt int64
+			switch rng.Intn(4) {
+			case 0: // same-instant cluster
+				tt = int64(rng.Intn(4)) * 64
+			case 1: // near future, within the wheel
+				tt = int64(rng.Intn(int(wheelSpan)))
+			case 2: // overflow range
+				tt = wheelSpan + int64(rng.Intn(int(wheelSpan*20)))
+			default: // bucket-boundary adjacent
+				tt = int64(rng.Intn(64))*bucketWidth + int64(rng.Intn(3)) - 1
+				if tt < 0 {
+					tt = 0
+				}
+			}
+			s := spec{t: tt}
+			for f := rng.Intn(3); f > 0; f-- {
+				s.followups = append(s.followups, int64(rng.Intn(int(wheelSpan*3)))-bucketWidth)
+			}
+			specs[i] = s
+		}
+
+		// Run the real engine.
+		var gotOrder []int
+		e := New()
+		var schedule func(id int, at int64, followups []int64)
+		nextID := n
+		schedule = func(id int, at int64, followups []int64) {
+			// Clamp here (identically to the engine's normal-build clamp)
+			// so `-tags simdebug` builds don't panic on followups that
+			// would land in the past.
+			if at < e.Now() {
+				at = e.Now()
+			}
+			e.At(at, func() {
+				gotOrder = append(gotOrder, id)
+				for _, d := range followups {
+					fid := nextID
+					nextID++
+					schedule(fid, e.Now()+d, nil)
+				}
+			})
+		}
+		for i, s := range specs {
+			schedule(i, s.t, s.followups)
+		}
+		e.Run()
+
+		// Run the reference heap with the same logic (including the
+		// past-time clamp) and the same seq assignment discipline.
+		var wantOrder []int
+		var rq refQueue
+		var rnow int64
+		var rseq uint64
+		followupsOf := make(map[int][]int64, n)
+		for i, s := range specs {
+			rseq++
+			rq.add(&refEvent{t: s.t, seq: rseq, id: i})
+			followupsOf[i] = s.followups
+		}
+		rNextID := n
+		for rq.Len() > 0 {
+			ev := rq.next()
+			rnow = ev.t
+			wantOrder = append(wantOrder, ev.id)
+			for _, d := range followupsOf[ev.id] {
+				at := rnow + d
+				if at < rnow {
+					at = rnow
+				}
+				rseq++
+				rq.add(&refEvent{t: at, seq: rseq, id: rNextID})
+				rNextID++
+			}
+		}
+
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("trial %d: executed %d events, reference executed %d",
+				trial, len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("trial %d: execution order diverges at %d: got event %d, reference %d",
+					trial, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+}

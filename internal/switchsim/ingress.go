@@ -19,7 +19,16 @@ func (s *Switch) Receive(pkt *core.Packet, inPort core.PortID) {
 			s.WireDelaySampler(s.eng.Now()-pkt.Enqueued, pkt.Size)
 		}
 	}
-	s.eng.AfterClass(s.Cfg.pipeline(), sim.ClassSwitchIngress, func() { s.process(pkt, inPort) })
+	s.eng.AfterEvent(s.Cfg.pipeline(), sim.ClassSwitchIngress, (*ingressAction)(s), pkt, int64(inPort))
+}
+
+// ingressAction runs the ingress pipeline after the pipeline delay — the
+// closure-free sim.Action form of Receive's deferred process call: arg is
+// the packet, v the ingress port. One of these fires per packet per hop.
+type ingressAction Switch
+
+func (a *ingressAction) RunEvent(arg any, v int64) {
+	(*Switch)(a).process(arg.(*core.Packet), core.PortID(v))
 }
 
 func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
@@ -65,7 +74,7 @@ func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
 		h, _ := pkt.NextSR()
 		egress, dep = h.Egress, h.DepSlice
 	} else {
-		res, ok := s.table.Lookup(arr, pkt.SrcNode, pkt.DstNode, s.rng.Uint64(), pkt.Flow.Hash())
+		res, ok := s.table.Lookup(arr, pkt.SrcNode, pkt.DstNode, s.rng.Uint64(), pkt.FlowHash())
 		if !ok {
 			// Slice-miss fallback: a transit packet whose arrival slice
 			// drifted past its planned entry (hop latency at very short
@@ -294,6 +303,7 @@ func (s *Switch) handleCtrl(pkt *core.Packet, inPort core.PortID) {
 		for _, h := range s.hosts {
 			cp := *pkt
 			cp.Flow.DstHost = h
+			cp.ClearFlowHash()
 			s.toHost(h, &cp)
 		}
 	case core.CtrlOffload:

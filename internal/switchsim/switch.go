@@ -150,7 +150,7 @@ const (
 )
 
 type calQueue struct {
-	fifo  []*core.Packet
+	fifo  core.Deque[*core.Packet]
 	bytes int64
 }
 
@@ -518,7 +518,7 @@ func (s *Switch) rotate() {
 		if p.kind != portUplink {
 			continue
 		}
-		if left := len(p.queues[s.active].fifo); left > 0 {
+		if left := p.queues[s.active].fifo.Len(); left > 0 {
 			s.Counters.SliceMisses += uint64(left)
 			if s.met != nil && int(endedSlice) >= 0 && int(endedSlice) < len(s.met.misses) {
 				s.met.misses[endedSlice].Add(float64(left))
@@ -551,10 +551,10 @@ func (s *Switch) drain(p *outPort) {
 		qi = s.active
 	}
 	q := &p.queues[qi]
-	if len(q.fifo) == 0 {
+	if q.fifo.Len() == 0 {
 		return
 	}
-	pkt := q.fifo[0]
+	pkt := q.fifo.Front()
 	ser := p.link.SerializationDelay(pkt.Size)
 	if p.kind == portUplink && s.Cfg.calendarOn() {
 		sd := int64(s.Cfg.Schedule.SliceDuration)
@@ -564,7 +564,7 @@ func (s *Switch) drain(p *outPort) {
 		sliceEnd := sliceStart + sd
 		if local < guardEnd {
 			wait := guardEnd - local
-			s.eng.AfterClass(wait, sim.ClassSwitchDrain, func() { s.drain(p) })
+			s.eng.AfterEvent(wait, sim.ClassSwitchDrain, (*drainAction)(s), p, 0)
 			return
 		}
 		if local+ser+s.Cfg.txTail() > sliceEnd {
@@ -573,7 +573,7 @@ func (s *Switch) drain(p *outPort) {
 			return
 		}
 	}
-	q.fifo = q.fifo[1:]
+	q.fifo.PopFront()
 	p.busy = true
 	p.txBytes += uint64(pkt.Size)
 	p.txPkts++
@@ -586,16 +586,34 @@ func (s *Switch) drain(p *outPort) {
 		// measure the switch-to-switch wire delay (Fig. 11).
 		pkt.Enqueued = s.eng.Now()
 	}
-	p.link.Send(s, pkt)
 	// Buffer bytes are freed when the packet has fully left the switch,
-	// matching how an egress packet would read queue occupancy.
-	size := int64(pkt.Size)
-	s.eng.AfterClass(ser, sim.ClassSwitchDrain, func() {
-		q.bytes -= size
-		p.bytes -= size
-		p.busy = false
-		s.drain(p)
-	})
+	// matching how an egress packet would read queue occupancy. The queue
+	// index and byte count ride in the event's scalar operand (Size is a
+	// positive int32, so it fits the low word).
+	v := int64(qi)<<32 | int64(pkt.Size)
+	p.link.Send(s, pkt)
+	s.eng.AfterEvent(ser, sim.ClassSwitchDrain, (*txDoneAction)(s), p, v)
+}
+
+// drainAction retries drain on a port (arg) — scheduled when the head
+// packet must wait out the guardband at the top of a slice.
+type drainAction Switch
+
+func (a *drainAction) RunEvent(arg any, _ int64) { (*Switch)(a).drain(arg.(*outPort)) }
+
+// txDoneAction fires when a packet has fully serialized onto the wire:
+// arg is the port, v packs (calendar queue index << 32 | packet size).
+type txDoneAction Switch
+
+func (a *txDoneAction) RunEvent(arg any, v int64) {
+	s := (*Switch)(a)
+	p := arg.(*outPort)
+	q := &p.queues[int(v>>32)]
+	size := v & 0xffffffff
+	q.bytes -= size
+	p.bytes -= size
+	p.busy = false
+	s.drain(p)
 }
 
 // eqoSettle finalizes queue qi's generator decay over the slice that just
@@ -723,7 +741,7 @@ func (s *Switch) enqueue(p *outPort, qi int, pkt *core.Packet) {
 	}
 	pkt.Enqueued = s.eng.Now()
 	q := &p.queues[qi]
-	q.fifo = append(q.fifo, pkt)
+	q.fifo.PushBack(pkt)
 	q.bytes += int64(pkt.Size)
 	p.bytes += int64(pkt.Size)
 	if p.bytes > p.maxBytes {

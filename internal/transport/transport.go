@@ -138,6 +138,9 @@ func NewStack(eng *sim.Engine, host *hostsim.Host, cfg TCPConfig, seed uint64) *
 type Conn struct {
 	stack *Stack
 	flow  core.FlowKey
+	// flowHash caches flow.Hash(), which every emitted segment folds into
+	// its packet ID.
+	flowHash uint64
 	// endpoints
 	srcNode, dstNode core.NodeID
 
@@ -167,7 +170,7 @@ type Conn struct {
 // is reported through OnFlowComplete.
 func (s *Stack) OpenTCP(flow core.FlowKey, srcNode, dstNode core.NodeID, totalBytes int64) *Conn {
 	c := &Conn{
-		stack: s, flow: flow, srcNode: srcNode, dstNode: dstNode,
+		stack: s, flow: flow, flowHash: flow.Hash(), srcNode: srcNode, dstNode: dstNode,
 		total: totalBytes, cwnd: s.cfg.initCwnd(), ssthresh: s.cfg.maxCwnd(),
 		start: s.eng.Now(),
 	}
@@ -228,7 +231,7 @@ func (c *Conn) emit(seq int64) bool {
 	s := c.stack
 	s.nextID++
 	pkt := &core.Packet{
-		ID:      s.nextID ^ uint64(c.flow.Hash()),
+		ID:      s.nextID ^ c.flowHash,
 		Flow:    c.flow,
 		SrcNode: c.srcNode,
 		DstNode: c.dstNode,
