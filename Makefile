@@ -1,5 +1,5 @@
 # Tier-1: what every change must keep green.
-.PHONY: build test check bench bench-smoke sweep-smoke
+.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke
 
 build:
 	go build ./...
@@ -33,3 +33,9 @@ sweep-smoke:
 	rm -rf /tmp/oosweep-smoke
 	go run -race ./cmd/oosweep run -spec testdata/sweep_smoke.json -out /tmp/oosweep-smoke -jobs 4
 	go run -race ./cmd/oosweep resume -spec testdata/sweep_smoke.json -out /tmp/oosweep-smoke -jobs 4
+
+# Live-observability smoke: oosim -http serving mid-run, /metrics and
+# /snapshot well-formed, ooctl watch renders a frame, SIGINT exits 130.
+# The obsv package itself runs under -race as part of `make check`.
+obsv-smoke:
+	bash scripts/obsv_smoke.sh

@@ -14,15 +14,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"openoptics"
 
 	"openoptics/experiments"
+	"openoptics/internal/obsv"
 	"openoptics/internal/runner"
+	"openoptics/internal/sim"
 )
 
 type experiment struct {
@@ -81,7 +86,47 @@ func run() (code int) {
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
+	httpAddr := flag.String("http", "", "serve live observability for the currently running network on this address")
 	flag.Parse()
+
+	// Graceful shutdown: every network an experiment builds registers its
+	// engine here (via the Observe hook below); the first SIGINT/SIGTERM
+	// interrupts them all, so drivers unwind quickly and the deferred
+	// telemetry flushes run. A second signal kills the process.
+	var (
+		engMu    sync.Mutex
+		engines  []*sim.Engine
+		stopping bool
+	)
+	track := func(n *openoptics.Net) {
+		e := n.Engine()
+		engMu.Lock()
+		engines = append(engines, e)
+		if stopping {
+			e.Interrupt()
+		}
+		engMu.Unlock()
+	}
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "oobench: interrupted — stopping (signal again to kill)")
+		engMu.Lock()
+		stopping = true
+		for _, e := range engines {
+			e.Interrupt()
+		}
+		engMu.Unlock()
+		<-sigs
+		os.Exit(130)
+	}()
+	wasInterrupted := func() bool {
+		engMu.Lock()
+		defer engMu.Unlock()
+		return stopping
+	}
 
 	// Profiling wraps the whole run: the CPU profile covers every
 	// experiment executed, and the heap profile snapshots live allocations
@@ -136,18 +181,35 @@ func run() (code int) {
 		traceW = bufio.NewWriter(f)
 		defer func() { traceW.Flush(); f.Close() }()
 	}
-	if *metricsOut != "" || traceW != nil {
-		openoptics.Observe = func(n *openoptics.Net) {
-			lastNet = n
-			if *metricsOut != "" {
-				n.Metrics() // build before traffic so per-slice counters record
-			}
-			if traceW != nil {
-				n.Tracer(*traceSample).SetSink(traceW)
-			}
+	var srv *obsv.Server
+	if *httpAddr != "" {
+		srv = obsv.NewServer()
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oobench:", err)
+			return 1
 		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "oobench: live observability on http://%s\n", addr)
+	}
+	openoptics.Observe = func(n *openoptics.Net) {
+		track(n)
+		lastNet = n
+		if *metricsOut != "" {
+			n.Metrics() // build before traffic so per-slice counters record
+		}
+		if traceW != nil {
+			n.Tracer(*traceSample).SetSink(traceW)
+		}
+		if srv != nil {
+			// Each experiment builds fresh networks; the endpoints always
+			// show the most recently constructed (= currently running) one.
+			n.AttachLive(srv, time.Millisecond)
+		}
+	}
+	if *metricsOut != "" {
 		defer func() {
-			if *metricsOut == "" || lastNet == nil {
+			if lastNet == nil {
 				return
 			}
 			if err := writeMetrics(lastNet, *metricsOut); err != nil {
@@ -193,14 +255,19 @@ func run() (code int) {
 		}
 		todo = []string{*exp}
 	}
-	// Telemetry sinks (the Observe hook, trace writer, metrics registry)
-	// are process-global, so parallel drivers would race on them.
-	if *jobs > 1 && (*metricsOut != "" || traceW != nil) {
-		fmt.Fprintln(os.Stderr, "oobench: -metrics-out/-trace-out are process-global; clamping -jobs to 1")
+	// Telemetry sinks (the Observe hook, trace writer, metrics registry,
+	// live server) are process-global, so parallel drivers would race on
+	// them.
+	if *jobs > 1 && (*metricsOut != "" || traceW != nil || srv != nil) {
+		fmt.Fprintln(os.Stderr, "oobench: -metrics-out/-trace-out/-http are process-global; clamping -jobs to 1")
 		*jobs = 1
 	}
 	if len(todo) > 1 && *jobs > 1 {
-		return runParallel(todo, ids, p, *jobs)
+		code := runParallel(todo, ids, p, *jobs)
+		if wasInterrupted() {
+			return 130
+		}
+		return code
 	}
 	failed := 0
 	for _, id := range todo {
@@ -213,6 +280,10 @@ func run() (code int) {
 			continue
 		}
 		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", id, r.desc, time.Since(start).Seconds(), res)
+	}
+	if wasInterrupted() {
+		fmt.Fprintln(os.Stderr, "oobench: run interrupted; partial results above")
+		return 130
 	}
 	if failed > 0 {
 		return 1

@@ -4,10 +4,16 @@
 // the per-node time-flow tables — without running any traffic. It is the
 // quickest way to inspect what a script of Fig. 5 actually installs.
 //
+// It also fronts the live observability plane: `ooctl watch <addr>` polls
+// a running oosim/oobench -http server's /snapshot endpoint and renders a
+// live per-switch occupancy and drop table (watch.go).
+//
 // Usage:
 //
 //	ooctl -n 8 -uplink 2 -topo roundrobin -routing vlb -lookup hop
 //	ooctl -n 8 -topo mesh -routing ecmp -dump-tables
+//	ooctl watch localhost:8080
+//	ooctl watch -once localhost:8080
 package main
 
 import (
@@ -23,6 +29,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		os.Exit(runWatch(os.Args[2:]))
+	}
 	n := flag.Int("n", 8, "endpoint-node count")
 	uplink := flag.Int("uplink", 1, "optical uplinks per node")
 	topoName := flag.String("topo", "roundrobin", "topology: roundrobin|roundrobin2d|mesh")

@@ -7,6 +7,7 @@
 //
 //	oosim -config testdata/rotornet.json -arch rotornet-vlb -workload memcached -duration-ms 100
 //	oosim -nodes 16 -arch opera -workload rpc -load 0.4
+//	oosim -nodes 8 -arch rotornet-vlb -http :8080    # live /metrics, /snapshot, pprof
 package main
 
 import (
@@ -14,16 +15,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"openoptics"
 	"openoptics/internal/arch"
+	"openoptics/internal/obsv"
 	"openoptics/internal/sim"
 	"openoptics/internal/traffic"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run is the real main; main wraps it in os.Exit so deferred flushes
+// (trace sinks, flight dumps, the metrics file) run on every exit path,
+// including an interrupted run.
+func run() int {
 	cfgPath := flag.String("config", "", "JSON static configuration file (optional)")
 	archName := flag.String("arch", "rotornet-vlb", "architecture: clos|c-through|jupiter|mordia|rotornet-vlb|rotornet-direct|rotornet-ucmp|rotornet-hoho|opera|semi-oblivious|shale")
 	workload := flag.String("workload", "memcached", "workload: memcached|allreduce|iperf|udp-probe|rpc|hadoop|kv")
@@ -38,6 +47,14 @@ func main() {
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
 	profile := flag.Bool("profile", false, "collect per-handler-class wall-clock profiling")
 	progressMs := flag.Int("progress-ms", 0, "print a virtual/real speed report every N virtual ms")
+	httpAddr := flag.String("http", "", "serve live observability (metrics, snapshot, pprof) on this address")
+	httpIntervalUs := flag.Int("http-interval-us", 1000, "virtual µs between live publications (with -http)")
+	flightOut := flag.String("flight-out", "", "enable the flight recorder; write anomaly dumps to this JSONL file")
+	flightSize := flag.Int("flight-size", 64, "flight-recorder ring size in slices")
+	flightDrops := flag.Uint64("flight-drops", 500, "dump on this many drops in one slice (0 disables)")
+	flightCongest := flag.Uint64("flight-congest", 200, "dump on this many congestion hits per slice sustained (0 disables)")
+	flightCongestSlices := flag.Int("flight-congest-slices", 8, "slices of sustained congestion before dumping")
+	flightEQO := flag.Int64("flight-eqo", 0, "dump when EQO error reaches this many bytes (0 disables)")
 	flag.Parse()
 
 	o := arch.Options{
@@ -49,7 +66,9 @@ func main() {
 	}
 	if *cfgPath != "" {
 		cfg, err := openoptics.LoadConfig(*cfgPath)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		o.Nodes = cfg.NodeNum
 		o.Uplink = cfg.Uplink
 		o.HostsPerNode = cfg.HostsPerNode
@@ -63,24 +82,71 @@ func main() {
 		o.Tune = func(c *openoptics.Config) { *c = base }
 	}
 	in, err := buildArch(*archName, o)
-	check(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	dur := time.Duration(*durMs) * time.Millisecond
 	eps := in.Net.Endpoints()
 	sink := traffic.NewSink(eps)
 	eng := in.Net.Engine()
 
+	// Graceful shutdown: the first SIGINT/SIGTERM interrupts the engine so
+	// the run unwinds through the normal exit path (reports, flushed
+	// telemetry); a second signal kills the process immediately.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "oosim: interrupted — stopping (signal again to kill)")
+		eng.Interrupt()
+		<-sigs
+		os.Exit(130)
+	}()
+
 	// Telemetry wiring. The registry is built before traffic so per-slice
 	// drop counters record from the first packet.
-	if *metricsOut != "" {
+	if *metricsOut != "" || *httpAddr != "" {
 		in.Net.Metrics()
 	}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		w := bufio.NewWriter(f)
 		defer func() { w.Flush(); f.Close() }()
 		in.Net.Tracer(*traceSample).SetSink(w)
+	}
+	var srv *obsv.Server
+	if *httpAddr != "" {
+		srv = obsv.NewServer()
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "oosim: live observability on http://%s\n", addr)
+		in.Net.AttachLive(srv, time.Duration(*httpIntervalUs)*time.Microsecond)
+	}
+	if *flightOut != "" {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			return fail(err)
+		}
+		w := bufio.NewWriter(f)
+		defer func() { w.Flush(); f.Close() }()
+		rec := obsv.NewFlightRecorder(*flightSize, obsv.TriggerConfig{
+			DropSpike:     *flightDrops,
+			CongestHits:   *flightCongest,
+			CongestSlices: *flightCongestSlices,
+			EQOErrBytes:   *flightEQO,
+		}, w)
+		rec.OnDump = func(reason string) {
+			fmt.Fprintln(os.Stderr, "oosim: flight dump:", reason)
+		}
+		in.Net.AttachFlightRecorder(rec, true)
 	}
 	if *profile {
 		eng.EnableProfiling(true)
@@ -127,20 +193,31 @@ func main() {
 		}
 	case "rpc", "hadoop", "kv":
 		cdf, err := traffic.ByName(*workload)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		rp, err := traffic.NewReplay(eng, eps, cdf, *load,
 			int64(in.Net.Cfg.LineRateGbps*1e9), o.Seed)
-		check(err)
+		if err != nil {
+			return fail(err)
+		}
 		rp.Start(int64(dur))
 		report = func() {
 			fmt.Printf("%s replay: %d flows started, FCT %s\n",
 				*workload, rp.Started, sink.FCTSample(traffic.PortReplay).Summary())
 		}
 	default:
-		check(fmt.Errorf("unknown workload %q", *workload))
+		return fail(fmt.Errorf("unknown workload %q", *workload))
 	}
 
-	check(in.Run(dur + dur/4))
+	if err := in.Run(dur + dur/4); err != nil {
+		return fail(err)
+	}
+	if srv != nil {
+		// Publish the end-of-run state; the endpoints keep serving it
+		// until the process exits.
+		in.Net.PublishLive(srv)
+	}
 	report()
 	c := in.Net.Counters()
 	fmt.Printf("switches: rx=%d tx=%d delivered=%d drops{noroute=%d buffer=%d congest=%d wrap=%d} misses=%d fallbacks=%d\n",
@@ -156,8 +233,15 @@ func main() {
 		}
 	}
 	if *metricsOut != "" {
-		check(writeMetrics(in.Net, *metricsOut))
+		if err := writeMetrics(in.Net, *metricsOut); err != nil {
+			return fail(err)
+		}
 	}
+	if eng.Interrupted() {
+		fmt.Fprintln(os.Stderr, "oosim: run interrupted; partial results above")
+		return 130
+	}
+	return 0
 }
 
 // writeMetrics renders the registry to path: JSON when it ends in .json,
@@ -204,9 +288,7 @@ func buildArch(name string, o arch.Options) (*arch.Instance, error) {
 	return nil, fmt.Errorf("unknown architecture %q", name)
 }
 
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "oosim:", err)
-		os.Exit(1)
-	}
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "oosim:", err)
+	return 1
 }

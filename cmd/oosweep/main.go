@@ -15,14 +15,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
+	"openoptics/internal/obsv"
 	"openoptics/internal/runner"
 )
 
@@ -32,7 +36,7 @@ func main() {
 
 func usage() int {
 	fmt.Fprintln(os.Stderr, "usage: oosweep <run|resume|list|aggregate> [flags]")
-	fmt.Fprintln(os.Stderr, "  run       -spec FILE -out DIR [-jobs N] [-resume] [-retries N] [-metrics] [-quiet] [-cpuprofile FILE] [-memprofile FILE]")
+	fmt.Fprintln(os.Stderr, "  run       -spec FILE -out DIR [-jobs N] [-resume] [-retries N] [-metrics] [-quiet] [-http ADDR] [-cpuprofile FILE] [-memprofile FILE]")
 	fmt.Fprintln(os.Stderr, "  resume    -spec FILE -out DIR [-jobs N] ...   (run with -resume implied)")
 	fmt.Fprintln(os.Stderr, "  list      -spec FILE")
 	fmt.Fprintln(os.Stderr, "  aggregate -out DIR")
@@ -72,6 +76,7 @@ func runSweep(args []string, resume bool) int {
 	quiet := fs.Bool("quiet", false, "suppress the per-job progress line")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile (pprof) of the whole sweep to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
+	httpAddr := fs.String("http", "", "serve live sweep progress (/progress, pprof) on this address")
 	fs.Parse(args)
 	if *specPath == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "oosweep: run needs -spec and -out")
@@ -130,6 +135,41 @@ func runSweep(args []string, resume bool) int {
 	if *metrics {
 		opt.MetricsDir = filepath.Join(*out, "metrics")
 	}
+
+	// Graceful shutdown: the first SIGINT/SIGTERM closes the pool's stop
+	// channel — in-flight jobs finish and checkpoint, the rest are counted
+	// as aborted and `oosweep resume` picks them up. A second signal kills
+	// the process (the ledger is kill-safe: one unbuffered write per job).
+	stop := make(chan struct{})
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "oosweep: interrupted — draining in-flight jobs (signal again to kill)")
+		close(stop)
+		<-sigs
+		os.Exit(130)
+	}()
+	opt.Stop = stop
+
+	if *httpAddr != "" {
+		srv := obsv.NewServer()
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oosweep:", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "oosweep: live progress on http://%s/progress\n", addr)
+		progressEP := srv.Progress()
+		opt.OnProgress = func(p runner.SweepProgress) {
+			if b, err := json.Marshal(p); err == nil {
+				progressEP.Set(b)
+			}
+		}
+	}
+
 	sr, err := runner.Sweep(spec, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oosweep:", err)
@@ -138,8 +178,13 @@ func runSweep(args []string, resume bool) int {
 	if code := aggregate(spec.Name, opt.LedgerPath, *out); code != 0 {
 		return code
 	}
-	fmt.Printf("sweep %s: %d jobs, %d ok, %d failed, %d skipped (resume)\n",
-		spec.Name, sr.Total, sr.OK, sr.Failed, sr.Skipped)
+	fmt.Printf("sweep %s: %d jobs, %d ok, %d failed, %d aborted, %d skipped (resume)\n",
+		spec.Name, sr.Total, sr.OK, sr.Failed, sr.Aborted, sr.Skipped)
+	if sr.Aborted > 0 {
+		fmt.Fprintf(os.Stderr, "oosweep: %d jobs aborted; `oosweep resume -spec %s -out %s` continues\n",
+			sr.Aborted, *specPath, *out)
+		return 130
+	}
 	if sr.Failed > 0 {
 		return 1
 	}

@@ -27,6 +27,9 @@ type OpticalFabric struct {
 
 	ports    []*Link
 	attached map[attachKey]int
+	// rev is the inverse of attached, indexed by fabric port — the
+	// observability plane uses it to render circuit state in node terms.
+	rev []attachKey
 
 	conn       []map[int]int // per-slice port connection table
 	staticConn map[int]int   // wildcard-slice (TA) connections
@@ -74,6 +77,7 @@ func (f *OpticalFabric) Attach(node core.NodeID, nodePort core.PortID, link *Lin
 	fp := len(f.ports)
 	f.ports = append(f.ports, link)
 	f.attached[attachKey{node, nodePort}] = fp
+	f.rev = append(f.rev, attachKey{node, nodePort})
 	return fp
 }
 

@@ -1,0 +1,199 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The flight recorder keeps the last N per-slice samples of network state
+// in a ring buffer and watches a small set of health signals. When a
+// signal trips an anomaly trigger, the whole ring — the slices leading up
+// to the anomaly — is dumped as JSONL for offline replay. The recorder is
+// generic: the sampled payload is opaque, and trigger decisions use only
+// the extracted Signals, so the package needs no knowledge of the
+// simulator's types.
+
+// Signals are the health indicators the triggers watch. Drops and
+// CongestionHits are cumulative network-wide counters (the recorder
+// differences consecutive samples itself); MaxEQOErrBytes is the
+// instantaneous worst |estimated − true| queue-occupancy divergence.
+type Signals struct {
+	Drops          uint64 `json:"drops"`
+	CongestionHits uint64 `json:"congestion_hits"`
+	MaxEQOErrBytes int64  `json:"max_eqo_err_bytes"`
+}
+
+// Sample is one per-slice flight-recorder record.
+type Sample struct {
+	TimeNs  int64   `json:"time_ns"`
+	Slice   int64   `json:"slice"`
+	Signals Signals `json:"signals"`
+	// Data is the opaque state payload (e.g. a full network snapshot).
+	Data any `json:"data,omitempty"`
+}
+
+// TriggerConfig tunes the anomaly triggers. A zero value disables the
+// corresponding trigger, so the zero TriggerConfig records but never dumps.
+type TriggerConfig struct {
+	// DropSpike trips when drops grow by at least this many packets
+	// between consecutive samples (one slice).
+	DropSpike uint64 `json:"drop_spike"`
+	// CongestHits and CongestSlices trip the sustained-congestion trigger:
+	// congestion-detection activity of at least CongestHits per slice for
+	// CongestSlices consecutive slices. CongestSlices defaults to 1 when
+	// CongestHits is set.
+	CongestHits   uint64 `json:"congest_hits"`
+	CongestSlices int    `json:"congest_slices"`
+	// EQOErrBytes trips when the estimated-vs-true queue occupancy
+	// divergence reaches this many bytes.
+	EQOErrBytes int64 `json:"eqo_err_bytes"`
+	// CooldownSlices suppresses re-triggering for this many samples after
+	// a dump (default: the ring size, so consecutive dumps don't overlap).
+	CooldownSlices int `json:"cooldown_slices"`
+}
+
+// FlightRecorder is a fixed-size ring of per-slice samples with anomaly
+// triggers. Not safe for concurrent use; call Record from the simulation
+// goroutine only.
+type FlightRecorder struct {
+	cfg  TriggerConfig
+	sink io.Writer
+
+	ring []Sample
+	n    int // filled entries
+	next int // write position
+
+	prev       Signals
+	havePrev   bool
+	congestRun int
+	cooldown   int
+
+	// Dumps counts anomaly dumps written so far.
+	Dumps int
+	// OnDump, when set, is called after each anomaly dump with the trigger
+	// description (e.g. progress logging).
+	OnDump func(reason string)
+}
+
+// NewFlightRecorder builds a recorder holding the last `size` samples
+// (minimum 1), dumping to sink when a trigger in cfg trips. A nil sink
+// records and detects but discards dumps.
+func NewFlightRecorder(size int, cfg TriggerConfig, sink io.Writer) *FlightRecorder {
+	if size < 1 {
+		size = 1
+	}
+	if cfg.CongestHits > 0 && cfg.CongestSlices <= 0 {
+		cfg.CongestSlices = 1
+	}
+	if cfg.CooldownSlices <= 0 {
+		cfg.CooldownSlices = size
+	}
+	return &FlightRecorder{cfg: cfg, sink: sink, ring: make([]Sample, size)}
+}
+
+// Record appends one per-slice sample, evaluates the triggers, and dumps
+// the ring if one trips. Returns the trigger description, or "" if none
+// tripped (or the recorder was cooling down).
+func (r *FlightRecorder) Record(s Sample) string {
+	r.ring[r.next] = s
+	r.next = (r.next + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	}
+
+	reason := r.evaluate(s)
+	if r.cooldown > 0 {
+		r.cooldown--
+		return ""
+	}
+	if reason == "" {
+		return ""
+	}
+	r.cooldown = r.cfg.CooldownSlices
+	r.Dumps++
+	if r.sink != nil {
+		r.writeDump(reason, s)
+	}
+	if r.OnDump != nil {
+		r.OnDump(reason)
+	}
+	return reason
+}
+
+// evaluate updates the delta state and returns the first tripped trigger.
+// Delta state advances even during cooldown so the sustained-congestion
+// run length stays truthful.
+func (r *FlightRecorder) evaluate(s Sample) string {
+	prev, have := r.prev, r.havePrev
+	r.prev, r.havePrev = s.Signals, true
+
+	var reason string
+	if have {
+		if d := s.Signals.Drops - prev.Drops; r.cfg.DropSpike > 0 && d >= r.cfg.DropSpike {
+			reason = fmt.Sprintf("drop spike: %d drops in one slice (threshold %d)", d, r.cfg.DropSpike)
+		}
+		if r.cfg.CongestHits > 0 {
+			if s.Signals.CongestionHits-prev.CongestionHits >= r.cfg.CongestHits {
+				r.congestRun++
+			} else {
+				r.congestRun = 0
+			}
+			if reason == "" && r.congestRun >= r.cfg.CongestSlices {
+				reason = fmt.Sprintf("sustained congestion: ≥%d hits/slice for %d slices",
+					r.cfg.CongestHits, r.congestRun)
+			}
+		}
+	}
+	if reason == "" && r.cfg.EQOErrBytes > 0 && s.Signals.MaxEQOErrBytes >= r.cfg.EQOErrBytes {
+		reason = fmt.Sprintf("EQO error: %d B divergence (threshold %d B)",
+			s.Signals.MaxEQOErrBytes, r.cfg.EQOErrBytes)
+	}
+	return reason
+}
+
+// DumpHeader is the first JSONL line of a dump.
+type DumpHeader struct {
+	Kind    string        `json:"kind"` // always "trigger"
+	Reason  string        `json:"reason"`
+	TimeNs  int64         `json:"time_ns"`
+	Slice   int64         `json:"slice"`
+	Samples int           `json:"samples"`
+	Config  TriggerConfig `json:"config"`
+}
+
+func (r *FlightRecorder) writeDump(reason string, at Sample) {
+	enc := json.NewEncoder(r.sink)
+	enc.Encode(DumpHeader{
+		Kind: "trigger", Reason: reason, TimeNs: at.TimeNs, Slice: at.Slice,
+		Samples: r.n, Config: r.cfg,
+	})
+	for _, s := range r.Entries() {
+		enc.Encode(s)
+	}
+}
+
+// Dump writes the current ring unconditionally (e.g. a final dump at
+// shutdown) with the given reason.
+func (r *FlightRecorder) Dump(reason string) {
+	if r.sink == nil || r.n == 0 {
+		return
+	}
+	last := r.ring[(r.next-1+len(r.ring))%len(r.ring)]
+	r.Dumps++
+	r.writeDump(reason, last)
+}
+
+// Entries returns the ring contents oldest-first. The slice is freshly
+// allocated; the samples share payload pointers with the ring.
+func (r *FlightRecorder) Entries() []Sample {
+	out := make([]Sample, 0, r.n)
+	start := (r.next - r.n + len(r.ring)) % len(r.ring)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.ring[(start+i)%len(r.ring)])
+	}
+	return out
+}
+
+// Len returns the number of samples currently held.
+func (r *FlightRecorder) Len() int { return r.n }

@@ -1,0 +1,168 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleAt(slice int64, sig Signals) Sample {
+	return Sample{TimeNs: slice * 100_000, Slice: slice, Signals: sig}
+}
+
+func TestRingKeepsLastNOldestFirst(t *testing.T) {
+	r := NewFlightRecorder(3, TriggerConfig{}, nil)
+	for i := int64(0); i < 5; i++ {
+		r.Record(sampleAt(i, Signals{}))
+	}
+	got := r.Entries()
+	if len(got) != 3 || r.Len() != 3 {
+		t.Fatalf("ring holds %d entries, want 3", len(got))
+	}
+	for i, s := range got {
+		if want := int64(2 + i); s.Slice != want {
+			t.Fatalf("entry %d is slice %d, want %d (oldest first)", i, s.Slice, want)
+		}
+	}
+}
+
+func TestZeroConfigNeverDumps(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewFlightRecorder(4, TriggerConfig{}, &buf)
+	for i := int64(0); i < 100; i++ {
+		r.Record(sampleAt(i, Signals{Drops: uint64(i) * 1000, CongestionHits: uint64(i) * 1000,
+			MaxEQOErrBytes: 1 << 30}))
+	}
+	if r.Dumps != 0 || buf.Len() != 0 {
+		t.Fatalf("zero TriggerConfig dumped %d times", r.Dumps)
+	}
+}
+
+func TestDropSpikeTrigger(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewFlightRecorder(4, TriggerConfig{DropSpike: 100}, &buf)
+	// Steady drops below threshold: no dump. The first sample can never
+	// trigger (no delta yet).
+	if got := r.Record(sampleAt(0, Signals{Drops: 1_000_000})); got != "" {
+		t.Fatalf("first sample triggered: %q", got)
+	}
+	if got := r.Record(sampleAt(1, Signals{Drops: 1_000_099})); got != "" {
+		t.Fatalf("99-drop delta triggered below threshold 100: %q", got)
+	}
+	reason := r.Record(sampleAt(2, Signals{Drops: 1_000_199}))
+	if !strings.Contains(reason, "drop spike") {
+		t.Fatalf("100-drop delta: reason = %q, want drop spike", reason)
+	}
+	if r.Dumps != 1 {
+		t.Fatalf("Dumps = %d, want 1", r.Dumps)
+	}
+}
+
+func TestSustainedCongestionTrigger(t *testing.T) {
+	r := NewFlightRecorder(8, TriggerConfig{CongestHits: 10, CongestSlices: 3}, nil)
+	hits := uint64(0)
+	trip := ""
+	for i := int64(0); i < 10 && trip == ""; i++ {
+		hits += 10
+		trip = r.Record(sampleAt(i, Signals{CongestionHits: hits}))
+		// Deltas start at sample 1; the run reaches 3 at sample 3.
+		if i < 3 && trip != "" {
+			t.Fatalf("tripped at sample %d, want sustained 3 slices first", i)
+		}
+	}
+	if !strings.Contains(trip, "sustained congestion") {
+		t.Fatalf("reason = %q", trip)
+	}
+
+	// A quiet slice resets the run.
+	r2 := NewFlightRecorder(8, TriggerConfig{CongestHits: 10, CongestSlices: 3}, nil)
+	h := uint64(0)
+	for i := int64(0); i < 20; i++ {
+		if i%3 != 0 { // never 3 busy slices in a row
+			h += 10
+		}
+		if got := r2.Record(sampleAt(i, Signals{CongestionHits: h})); got != "" {
+			t.Fatalf("tripped at %d despite quiet slices resetting the run: %q", i, got)
+		}
+	}
+}
+
+func TestEQOErrorTrigger(t *testing.T) {
+	r := NewFlightRecorder(4, TriggerConfig{EQOErrBytes: 5000}, nil)
+	if got := r.Record(sampleAt(0, Signals{MaxEQOErrBytes: 4999})); got != "" {
+		t.Fatalf("below-threshold EQO error triggered: %q", got)
+	}
+	if got := r.Record(sampleAt(1, Signals{MaxEQOErrBytes: 5000})); !strings.Contains(got, "EQO error") {
+		t.Fatalf("reason = %q, want EQO error", got)
+	}
+}
+
+func TestCooldownSuppressesRetrigger(t *testing.T) {
+	r := NewFlightRecorder(4, TriggerConfig{EQOErrBytes: 1, CooldownSlices: 5}, nil)
+	if r.Record(sampleAt(0, Signals{MaxEQOErrBytes: 10})) == "" {
+		t.Fatal("first over-threshold sample must dump")
+	}
+	for i := int64(1); i <= 5; i++ {
+		if got := r.Record(sampleAt(i, Signals{MaxEQOErrBytes: 10})); got != "" {
+			t.Fatalf("sample %d dumped during cooldown: %q", i, got)
+		}
+	}
+	if r.Record(sampleAt(6, Signals{MaxEQOErrBytes: 10})) == "" {
+		t.Fatal("cooldown over; persistent anomaly must dump again")
+	}
+	if r.Dumps != 2 {
+		t.Fatalf("Dumps = %d, want 2", r.Dumps)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewFlightRecorder(3, TriggerConfig{DropSpike: 10}, &buf)
+	r.Record(sampleAt(0, Signals{Drops: 0}))
+	r.Record(sampleAt(1, Signals{Drops: 5}))
+	r.Record(sampleAt(2, Signals{Drops: 50})) // trips
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dump has %d lines, want header + 3 samples", len(lines))
+	}
+	var hdr DumpHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if hdr.Kind != "trigger" || !strings.Contains(hdr.Reason, "drop spike") || hdr.Samples != 3 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Slice != 2 || hdr.TimeNs != 200_000 {
+		t.Fatalf("header anchored at slice %d t=%d, want the tripping sample", hdr.Slice, hdr.TimeNs)
+	}
+	for i, ln := range lines[1:] {
+		var s Sample
+		if err := json.Unmarshal([]byte(ln), &s); err != nil {
+			t.Fatalf("sample line %d: %v", i, err)
+		}
+		if s.Slice != int64(i) {
+			t.Fatalf("dumped sample %d is slice %d, want oldest-first order", i, s.Slice)
+		}
+	}
+}
+
+func TestManualDump(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewFlightRecorder(4, TriggerConfig{}, &buf)
+	r.Dump("nothing recorded") // empty ring: no output
+	if buf.Len() != 0 {
+		t.Fatal("empty-ring Dump wrote output")
+	}
+	r.Record(sampleAt(7, Signals{}))
+	r.Dump("end of run")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("manual dump has %d lines, want header + 1 sample", len(lines))
+	}
+	var hdr DumpHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Reason != "end of run" {
+		t.Fatalf("header = %+v err=%v", hdr, err)
+	}
+}

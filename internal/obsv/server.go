@@ -1,0 +1,144 @@
+// Package obsv is the live observability plane: an embeddable HTTP
+// introspection server and a per-slice flight recorder. The package is
+// deliberately generic — it knows nothing about the simulator. The
+// simulation goroutine renders immutable artifacts (Prometheus text,
+// snapshot JSON) and publishes them; HTTP handlers only ever serve the
+// last published bytes. That split keeps the server race-free without
+// locks on simulator state, keeps endpoints serving after a run finishes,
+// and costs the simulation nothing when no server is attached.
+package obsv
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Published is one publish-only endpoint: writers swap in a complete
+// response body with Set; the HTTP handler serves the latest body.
+type Published struct {
+	contentType string
+	body        atomic.Value // []byte
+}
+
+// Set publishes b as the endpoint's complete response body. The caller
+// must not modify b afterwards. Safe for concurrent use, though the
+// expected discipline is a single writer (the simulation goroutine).
+func (p *Published) Set(b []byte) { p.body.Store(b) }
+
+func (p *Published) serve(w http.ResponseWriter, _ *http.Request) {
+	b, _ := p.body.Load().([]byte)
+	if b == nil {
+		http.Error(w, "nothing published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", p.contentType)
+	w.Write(b)
+}
+
+// Server is the introspection HTTP server. It always serves /healthz and
+// net/http/pprof; /metrics, /snapshot, and any extra endpoints appear once
+// something publishes to them.
+type Server struct {
+	mux *http.ServeMux
+	srv *http.Server
+
+	mu   sync.Mutex
+	ln   net.Listener
+	pubs map[string]*Published
+}
+
+// NewServer builds a server with the standard endpoints wired:
+// /healthz, /debug/pprof/*, and publish-backed /metrics and /snapshot.
+func NewServer() *Server {
+	s := &Server{mux: http.NewServeMux(), pubs: make(map[string]*Published)}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// A custom mux does not inherit net/http/pprof's DefaultServeMux
+	// registrations; wire the index and the fixed-name profiles explicitly
+	// (the index serves the named runtime profiles like heap/goroutine).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.Endpoint(MetricsPath, "text/plain; version=0.0.4; charset=utf-8")
+	s.Endpoint(SnapshotPath, "application/json")
+	return s
+}
+
+// Standard endpoint paths.
+const (
+	MetricsPath  = "/metrics"
+	SnapshotPath = "/snapshot"
+	ProgressPath = "/progress"
+)
+
+// Endpoint returns the publish-only endpoint at path, registering it on
+// first use. Registering the same path twice returns the same endpoint
+// (the content type of the first registration wins).
+func (s *Server) Endpoint(path, contentType string) *Published {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.pubs[path]; ok {
+		return p
+	}
+	p := &Published{contentType: contentType}
+	s.pubs[path] = p
+	s.mux.HandleFunc(path, p.serve)
+	return p
+}
+
+// Metrics is the /metrics endpoint (Prometheus text exposition format).
+func (s *Server) Metrics() *Published { return s.Endpoint(MetricsPath, "") }
+
+// Snapshot is the /snapshot endpoint (JSON network state).
+func (s *Server) Snapshot() *Published { return s.Endpoint(SnapshotPath, "") }
+
+// Progress is the /progress endpoint (JSON sweep progress).
+func (s *Server) Progress() *Published {
+	return s.Endpoint(ProgressPath, "application/json")
+}
+
+// Start binds addr (":0" picks a free port) and serves in the background.
+// Returns the bound address, for logging and for tests.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obsv: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := s.srv
+	s.mu.Unlock()
+	go srv.Serve(ln) // returns http.ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or "" before Start.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener and interrupts in-flight requests.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

@@ -1,0 +1,141 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startServer boots a server on a free port and arranges cleanup.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	s := NewServer()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, "http://" + addr
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestHealthz(t *testing.T) {
+	_, base := startServer(t)
+	code, body, _ := get(t, base+"/healthz")
+	if code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+func TestPublishedEndpointLifecycle(t *testing.T) {
+	s, base := startServer(t)
+
+	// Before anything is published the endpoint exists but has no body.
+	code, _, _ := get(t, base+"/metrics")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("unpublished /metrics = %d, want 503", code)
+	}
+
+	s.Metrics().Set([]byte("oo_test_total 1\n"))
+	code, body, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK || body != "oo_test_total 1\n" {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+
+	// Re-publishing swaps the body atomically.
+	s.Metrics().Set([]byte("oo_test_total 2\n"))
+	if _, body, _ := get(t, base+"/metrics"); body != "oo_test_total 2\n" {
+		t.Fatalf("republished /metrics = %q", body)
+	}
+
+	s.Snapshot().Set([]byte(`{"time_ns":0}`))
+	code, body, hdr = get(t, base+"/snapshot")
+	if code != http.StatusOK || body != `{"time_ns":0}` {
+		t.Fatalf("/snapshot = %d %q", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("snapshot Content-Type = %q", ct)
+	}
+}
+
+func TestEndpointIsIdempotent(t *testing.T) {
+	s := NewServer()
+	a := s.Endpoint("/custom", "text/plain")
+	b := s.Endpoint("/custom", "application/json")
+	if a != b {
+		t.Fatal("re-registering a path must return the same endpoint, not panic or replace")
+	}
+}
+
+func TestPprofIndexServes(t *testing.T) {
+	_, base := startServer(t)
+	code, body, _ := get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (len %d), want the profile index", code, len(body))
+	}
+}
+
+// TestConcurrentPublishAndServe drives publishes and reads concurrently;
+// under -race this proves the publish-only design has no data race between
+// the simulation goroutine and HTTP handlers.
+func TestConcurrentPublishAndServe(t *testing.T) {
+	s, base := startServer(t)
+	s.Metrics().Set([]byte("v 0\n"))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s.Metrics().Set([]byte(fmt.Sprintf("v %d\n", i)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get(base + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+}
+
+func TestCloseStopsServing(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" {
+		t.Fatal("Addr empty after Start")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

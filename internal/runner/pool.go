@@ -47,6 +47,11 @@ type Pool struct {
 	// OnDone, when set, observes each terminal result in completion
 	// order. Calls are serialized; ledger writers hang here.
 	OnDone func(TaskResult)
+	// Stop, when closed, makes Run stop dispatching new tasks; in-flight
+	// tasks finish normally (including their retries). Undispatched tasks
+	// come back with Attempts == 0, which is the aborted marker — a
+	// dispatched task always records at least one attempt.
+	Stop <-chan struct{}
 }
 
 // Run executes all tasks and returns their terminal results indexed by
@@ -81,11 +86,23 @@ func (p *Pool) Run(tasks []Task) []TaskResult {
 			}
 		}()
 	}
+feed:
 	for i := range tasks {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-p.Stop: // nil Stop never fires; the send side stays live
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	// Tasks the stop cut off were never dispatched; give their results
+	// identity so callers can report what was aborted.
+	for i := range results {
+		if results[i].Attempts == 0 {
+			results[i] = TaskResult{ID: tasks[i].ID, Index: i}
+		}
+	}
 	return results
 }
 

@@ -299,3 +299,135 @@ func TestSortRecordsDedupes(t *testing.T) {
 		t.Fatalf("sort/dedupe wrong: %+v", got)
 	}
 }
+
+func TestPoolStopDrainsInFlight(t *testing.T) {
+	// Closing Stop while task "a" runs must let "a" finish normally and
+	// hand back "b" and "c" undispatched (Attempts == 0) with their
+	// identity intact. The stop is closed from inside "a", and "a" then
+	// stays busy long enough for the feed loop to observe it — with the
+	// single worker occupied, the feed's only ready select case is Stop.
+	stop := make(chan struct{})
+	var ran atomic.Int32
+	p := &Pool{Workers: 1, Stop: stop}
+	mk := func(id string) Task {
+		return Task{ID: id, Run: func(int) (any, error) {
+			ran.Add(1)
+			if id == "a" {
+				close(stop)
+				time.Sleep(200 * time.Millisecond)
+			}
+			return id, nil
+		}}
+	}
+	res := p.Run([]Task{mk("a"), mk("b"), mk("c")})
+	if ran.Load() != 1 {
+		t.Fatalf("%d tasks ran, want only the in-flight one", ran.Load())
+	}
+	if res[0].ID != "a" || res[0].Attempts != 1 || res[0].Err != nil {
+		t.Fatalf("in-flight task result %+v, want a clean completion", res[0])
+	}
+	for i, id := range []string{"b", "c"} {
+		r := res[i+1]
+		if r.Attempts != 0 {
+			t.Fatalf("task %s has Attempts=%d, want 0 (aborted marker)", id, r.Attempts)
+		}
+		if r.ID != id || r.Index != i+1 {
+			t.Fatalf("aborted result lost identity: %+v", r)
+		}
+	}
+}
+
+func TestPoolNilStopRunsEverything(t *testing.T) {
+	var ran atomic.Int32
+	p := &Pool{Workers: 2}
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		tasks[i] = Task{ID: fmt.Sprint(i), Run: func(int) (any, error) {
+			ran.Add(1)
+			return nil, nil
+		}}
+	}
+	for _, r := range p.Run(tasks) {
+		if r.Attempts != 1 {
+			t.Fatalf("with nil Stop every task must run once: %+v", r)
+		}
+	}
+	if ran.Load() != 8 {
+		t.Fatalf("ran %d of 8", ran.Load())
+	}
+}
+
+func TestSweepStopAbortsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	ledger := filepath.Join(dir, "ledger.jsonl")
+	spec := tinySpec() // 2 jobs
+
+	stop := make(chan struct{})
+	var progs []SweepProgress
+	sr, err := Sweep(spec, SweepOptions{
+		Jobs: 1, LedgerPath: ledger, Retries: -1, Stop: stop,
+		OnProgress: func(p SweepProgress) {
+			progs = append(progs, p)
+			if len(progs) == 1 {
+				close(stop)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.OK != 1 || sr.Aborted != 1 || sr.Failed != 0 {
+		t.Fatalf("stopped sweep: %+v, want 1 ok + 1 aborted", sr)
+	}
+	if len(progs) != 1 {
+		t.Fatalf("OnProgress fired %d times, want once", len(progs))
+	}
+	p := progs[0]
+	if p.Total != 2 || p.Pending != 2 || p.Done != 1 || p.OK != 1 || p.Failed != 0 {
+		t.Fatalf("progress tally %+v", p)
+	}
+	if p.ElapsedMs <= 0 || p.EtaMs < 0 {
+		t.Fatalf("progress timing %+v", p)
+	}
+
+	// The aborted job was never written to the ledger, so a resumed sweep
+	// picks it up and completes the spec.
+	sr2, err := Sweep(spec, SweepOptions{Jobs: 1, LedgerPath: ledger, Resume: true, Retries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr2.Skipped != 1 || sr2.OK != 1 || sr2.Aborted != 0 {
+		t.Fatalf("resume after stop: %+v, want 1 skipped + 1 ok", sr2)
+	}
+	recs, err := ReadLedger(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("final ledger has %d records, want 2", len(recs))
+	}
+}
+
+func TestSweepProgressFullRun(t *testing.T) {
+	dir := t.TempDir()
+	spec := tinySpec()
+	var progs []SweepProgress
+	sr, err := Sweep(spec, SweepOptions{
+		Jobs: 1, LedgerPath: filepath.Join(dir, "l.jsonl"), Retries: -1,
+		OnProgress: func(p SweepProgress) { progs = append(progs, p) },
+	})
+	if err != nil || sr.OK != 2 {
+		t.Fatalf("sweep: %+v err=%v", sr, err)
+	}
+	if len(progs) != 2 {
+		t.Fatalf("OnProgress fired %d times, want 2", len(progs))
+	}
+	for i, p := range progs {
+		if p.Done != i+1 || p.OK != i+1 {
+			t.Fatalf("progress %d tally %+v", i, p)
+		}
+	}
+	if final := progs[len(progs)-1]; final.EtaMs != 0 {
+		t.Fatalf("final ETA %.1f ms, want 0", final.EtaMs)
+	}
+}

@@ -29,6 +29,13 @@ type SweepOptions struct {
 	// MetricsDir, when set, stores each job's telemetry registry (PR 1)
 	// as <sanitized-job-id>.json under it.
 	MetricsDir string
+	// Stop, when closed, drains the sweep gracefully: in-flight jobs
+	// finish and checkpoint, undispatched jobs are counted as aborted.
+	// Resume picks the aborted jobs up later.
+	Stop <-chan struct{}
+	// OnProgress, when set, observes the running tally after every job
+	// completion (calls are serialized) — the live-observability feed.
+	OnProgress func(SweepProgress)
 }
 
 // SweepResult summarizes a sweep execution.
@@ -37,6 +44,22 @@ type SweepResult struct {
 	Skipped int // already complete in the ledger (resume)
 	OK      int
 	Failed  int
+	Aborted int // undispatched when the sweep was stopped
+}
+
+// SweepProgress is the live tally published while a sweep runs.
+type SweepProgress struct {
+	Total   int `json:"total"`   // expanded grid size
+	Skipped int `json:"skipped"` // resumed as already complete
+	Pending int `json:"pending"` // submitted this execution
+	Done    int `json:"done"`    // completed so far (ok + failed)
+	OK      int `json:"ok"`
+	Failed  int `json:"failed"`
+	Retried int `json:"retried"` // jobs that needed more than one attempt
+	// ElapsedMs is wall time since the first dispatch; EtaMs extrapolates
+	// the remaining jobs from the mean completion rate so far.
+	ElapsedMs float64 `json:"elapsed_ms"`
+	EtaMs     float64 `json:"eta_ms"`
 }
 
 // Sweep expands the spec and executes it: bounded worker pool, per-job
@@ -115,7 +138,9 @@ func Sweep(spec *Spec, opt SweepOptions) (*SweepResult, error) {
 
 	completed := 0
 	var ledgerErr error
-	pool := &Pool{Workers: opt.Jobs, Retries: retries, Backoff: opt.Backoff,
+	prog := SweepProgress{Total: sr.Total, Skipped: sr.Skipped, Pending: len(pending)}
+	start := time.Now()
+	pool := &Pool{Workers: opt.Jobs, Retries: retries, Backoff: opt.Backoff, Stop: opt.Stop,
 		OnDone: func(tr TaskResult) {
 			completed++
 			sc := pending[tr.Index].Scenario
@@ -139,11 +164,29 @@ func Sweep(spec *Spec, opt SweepOptions) (*SweepResult, error) {
 			if opt.Progress != nil {
 				progressLine(opt.Progress, completed, len(pending), rec, virtual, tr.Elapsed)
 			}
+			if opt.OnProgress != nil {
+				prog.Done = completed
+				if tr.Err != nil {
+					prog.Failed++
+				} else {
+					prog.OK++
+				}
+				if tr.Attempts > 1 {
+					prog.Retried++
+				}
+				elapsed := time.Since(start)
+				prog.ElapsedMs = float64(elapsed.Nanoseconds()) / 1e6
+				prog.EtaMs = prog.ElapsedMs / float64(completed) * float64(len(pending)-completed)
+				opt.OnProgress(prog)
+			}
 		}}
 	for _, tr := range pool.Run(tasks) {
-		if tr.Err != nil {
+		switch {
+		case tr.Attempts == 0:
+			sr.Aborted++
+		case tr.Err != nil:
 			sr.Failed++
-		} else {
+		default:
 			sr.OK++
 		}
 	}

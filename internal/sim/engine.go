@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,12 @@ type Engine struct {
 	halted bool
 	// Processed counts executed events (diagnostics).
 	Processed uint64
+
+	// interrupted is the cross-goroutine stop request (Interrupt). It is
+	// the only engine state another goroutine may touch; the run loop polls
+	// it every interruptMask+1 events so the steady-state cost is a masked
+	// branch, not an atomic load per event.
+	interrupted atomic.Bool
 
 	// Profiling state (profile.go): per-class event counts are always
 	// collected (one array increment per event); wall-clock accounting
@@ -137,11 +144,22 @@ func (e *Engine) Run() {
 	e.RunUntil(math.MaxInt64)
 }
 
+// interruptMask throttles the Interrupt poll in the run loop: the atomic
+// flag is read once per mask+1 executed events (and once on entry), so an
+// interrupt is honored within a few microseconds of simulation work.
+const interruptMask = 1023
+
 // RunUntil executes events with timestamps <= deadline. The clock finishes
 // at the last executed event's time (or deadline if events remain).
 func (e *Engine) RunUntil(deadline int64) {
+	if e.interrupted.Load() {
+		return
+	}
 	e.halted = false
 	for e.sched.n > 0 && !e.halted {
+		if e.Processed&interruptMask == 0 && e.interrupted.Load() {
+			return
+		}
 		b := e.sched.min()
 		if (*b)[0].t > deadline {
 			e.now = deadline
@@ -178,6 +196,20 @@ func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + int64(d)) }
 // Halt stops Run after the current event handler returns. Pending events
 // remain queued; Run may be called again to resume.
 func (e *Engine) Halt() { e.halted = true }
+
+// Interrupt requests the run loop to stop and is the one engine method
+// that is safe to call from another goroutine (signal handlers, watchdog
+// timers). The request is sticky: once set, Run/RunUntil/RunFor return
+// promptly — including calls made after the interrupt — until
+// ClearInterrupt. Pending events stay queued, so callers can flush
+// telemetry and, if they choose, resume.
+func (e *Engine) Interrupt() { e.interrupted.Store(true) }
+
+// Interrupted reports whether Interrupt has been requested.
+func (e *Engine) Interrupted() bool { return e.interrupted.Load() }
+
+// ClearInterrupt re-arms the run loop after an Interrupt.
+func (e *Engine) ClearInterrupt() { e.interrupted.Store(false) }
 
 // Pending returns the number of queued events (diagnostics only).
 func (e *Engine) Pending() int { return e.sched.n }

@@ -210,3 +210,66 @@ func TestRandDistributions(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+func TestInterruptStopsRun(t *testing.T) {
+	e := New()
+	ran := 0
+	// The interrupt lands mid-run: honored at the next poll boundary, so
+	// well before all 10k events execute.
+	e.Every(0, 1, func() bool {
+		ran++
+		if ran == 100 {
+			e.Interrupt()
+		}
+		return ran < 10_000
+	})
+	e.Run()
+	if ran < 100 || ran >= 10_000 {
+		t.Fatalf("ran = %d, want interrupted between 100 and 10000", ran)
+	}
+	if !e.Interrupted() {
+		t.Fatal("Interrupted() = false after Interrupt")
+	}
+	// Sticky: further runs return immediately without executing events.
+	before := ran
+	e.Run()
+	if ran != before {
+		t.Fatalf("interrupted engine executed %d more events", ran-before)
+	}
+	if e.Pending() == 0 {
+		t.Fatal("pending events discarded by interrupt; they must stay queued")
+	}
+	// ClearInterrupt re-arms the loop and the run resumes where it left off.
+	e.ClearInterrupt()
+	e.Run()
+	if ran != 10_000 {
+		t.Fatalf("ran = %d after resume, want 10000", ran)
+	}
+}
+
+func TestInterruptFromAnotherGoroutine(t *testing.T) {
+	e := New()
+	started := make(chan struct{})
+	n := 0
+	e.Every(0, 1, func() bool {
+		n++
+		if n == 1 {
+			close(started)
+		}
+		return true // unbounded: only the interrupt ends this run
+	})
+	go func() {
+		<-started
+		e.Interrupt()
+	}()
+	done := make(chan struct{})
+	go func() {
+		e.Run()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not stop within 10s of a cross-goroutine Interrupt")
+	}
+}

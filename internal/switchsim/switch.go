@@ -235,6 +235,11 @@ type Switch struct {
 	// sampled packets (telemetry). Hot-path cost when unset: one nil
 	// check per decision point.
 	Tracer *telemetry.Tracer
+	// OnRotate, when set, fires after every calendar-queue rotation with
+	// the slice that just ended — the flight recorder's per-slice sampling
+	// point. Hot-path cost when unset: one nil check per rotation (one per
+	// slice, not per packet).
+	OnRotate func(ended core.Slice)
 	// met holds the pre-resolved registry counters (per-slice drop
 	// attribution); nil until AttachMetrics.
 	met *switchMetrics
@@ -536,6 +541,9 @@ func (s *Switch) rotate() {
 		if p.kind == portUplink {
 			s.drain(p)
 		}
+	}
+	if s.OnRotate != nil {
+		s.OnRotate(endedSlice)
 	}
 }
 

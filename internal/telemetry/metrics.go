@@ -200,11 +200,17 @@ func (r *Registry) addFunc(name, help string, typ MetricType, fn func() float64,
 }
 
 // Histogram registers (or returns) a histogram with the given bucket
-// upper bounds.
+// upper bounds. Re-requesting an existing histogram must pass the same
+// bounds — otherwise two call sites would silently share buckets chosen
+// by whichever registered first, so a mismatch panics instead.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
 	f := r.family(name, help, TypeHistogram)
 	k := sig(labels)
 	if m, ok := f.index[k]; ok {
+		if !equalBounds(m.h.bounds, bounds) {
+			panic(fmt.Sprintf("telemetry: histogram %s{%s} re-registered with different bucket bounds (%v != %v)",
+				name, k, bounds, m.h.bounds))
+		}
 		return m.h
 	}
 	h := &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
@@ -214,11 +220,27 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	return h
 }
 
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // DynamicFamily registers a family whose metrics are produced at export
 // time by collect — for signals whose label space is discovered at
-// runtime, like engine handler classes.
+// runtime, like engine handler classes. A family can have only one
+// collector; registering a second is a duplicate and panics.
 func (r *Registry) DynamicFamily(name, help string, typ MetricType, collect func(emit func(labels []Label, v float64))) {
 	f := r.family(name, help, typ)
+	if f.collect != nil {
+		panic(fmt.Sprintf("telemetry: dynamic family %s registered twice", name))
+	}
 	f.collect = collect
 }
 

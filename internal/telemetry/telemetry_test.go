@@ -3,6 +3,7 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"regexp"
 	"strings"
 	"testing"
@@ -216,4 +217,89 @@ func TestTracerSamplingAndFlush(t *testing.T) {
 	if rec3.Disposition != core.DispDropped || rec3.Reason != core.DropWrap || rec3.EndNode != 4 {
 		t.Fatalf("bad drop record: %+v", rec3)
 	}
+}
+
+// mustPanic runs fn and fails the test unless it panics with a message
+// containing want.
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", want)
+		}
+		if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	// Pin the exposition format: _bucket series must be cumulative and
+	// monotone, ending in +Inf == _count, with an exact _sum.
+	r := NewRegistry()
+	h := r.Histogram("oo_pin_ns", "pinned", []float64{1, 10, 100}, L("node", "0"))
+	for _, v := range []float64{0.5, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`oo_pin_ns_bucket{node="0",le="1"} 2`,
+		`oo_pin_ns_bucket{node="0",le="10"} 3`,
+		`oo_pin_ns_bucket{node="0",le="100"} 4`,
+		`oo_pin_ns_bucket{node="0",le="+Inf"} 5`,
+		`oo_pin_ns_sum{node="0"} 556`,
+		`oo_pin_ns_count{node="0"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSameBoundsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("oo_h_ns", "h", []float64{1, 2, 3})
+	b := r.Histogram("oo_h_ns", "h", []float64{1, 2, 3})
+	if a != b {
+		t.Fatal("same-bounds re-registration must return the existing histogram")
+	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("oo_h_ns", "h", []float64{1, 2, 3})
+	mustPanic(t, "different bucket bounds", func() {
+		r.Histogram("oo_h_ns", "h", []float64{1, 2})
+	})
+}
+
+func TestDuplicateFuncMetricPanics(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("oo_g_bytes", "g", func() float64 { return 1 }, L("node", "0"))
+	mustPanic(t, "duplicate", func() {
+		r.GaugeFunc("oo_g_bytes", "g", func() float64 { return 2 }, L("node", "0"))
+	})
+}
+
+func TestDynamicFamilyDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	collect := func(emit func([]Label, float64)) {}
+	r.DynamicFamily("oo_dyn_total", "d", TypeCounter, collect)
+	mustPanic(t, "registered twice", func() {
+		r.DynamicFamily("oo_dyn_total", "d", TypeCounter, collect)
+	})
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oo_t_total", "t")
+	mustPanic(t, "re-registered as", func() {
+		r.GaugeFunc("oo_t_total", "t", func() float64 { return 0 })
+	})
 }

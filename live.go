@@ -1,0 +1,97 @@
+package openoptics
+
+import (
+	"bytes"
+	"encoding/json"
+	"time"
+
+	"openoptics/internal/core"
+	"openoptics/internal/obsv"
+	"openoptics/internal/sim"
+)
+
+// This file wires a Net into the live observability plane (internal/obsv).
+// Everything here is opt-in: a network with no server attached schedules
+// no publication events and pays nothing — the same discipline as the
+// tracer and metrics hooks.
+
+// AttachLive publishes the network's metrics (Prometheus text) and state
+// snapshot (JSON) to the server now and then every interval of virtual
+// time (<=0 defaults to 1ms). Arm before Run; publications ride the
+// telemetry handler class, so they appear in engine profiles. The final
+// state after a run is published by calling PublishLive once more.
+func (n *Net) AttachLive(srv *obsv.Server, interval time.Duration) {
+	iv := int64(interval)
+	if iv <= 0 {
+		iv = int64(time.Millisecond)
+	}
+	n.PublishLive(srv)
+	n.eng.EveryClass(iv, iv, sim.ClassTelemetry, func() bool {
+		n.PublishLive(srv)
+		return true
+	})
+}
+
+// PublishLive renders the registry and a network snapshot once and
+// publishes both. Call on the simulation goroutine.
+func (n *Net) PublishLive(srv *obsv.Server) {
+	var mb bytes.Buffer
+	if err := n.Metrics().WritePrometheus(&mb); err == nil {
+		srv.Metrics().Set(mb.Bytes())
+	}
+	if sb, err := json.Marshal(n.Snapshot()); err == nil {
+		srv.Snapshot().Set(sb)
+	}
+}
+
+// AttachFlightRecorder samples the network into the flight recorder on
+// every calendar-queue rotation — one sample per slice, capturing the
+// state the anomaly triggers and any later dump replay will see. withData
+// embeds a full NetSnapshot in each sample (the replayable form); without
+// it samples carry only the trigger signals.
+//
+// The sampling hook rides the highest-index switch's rotation: switches
+// start in index order, so among the same-instant rotation events the
+// last switch's fires last and the hook observes every switch
+// post-rotation. Calendar-off (static/TA) networks never rotate and
+// produce no samples.
+func (n *Net) AttachFlightRecorder(rec *obsv.FlightRecorder, withData bool) {
+	if len(n.switches) == 0 {
+		return
+	}
+	last := n.switches[len(n.switches)-1]
+	last.OnRotate = func(ended core.Slice) {
+		s := obsv.Sample{TimeNs: n.eng.Now(), Slice: int64(ended), Signals: n.signals()}
+		if withData {
+			snap := n.Snapshot()
+			s.Data = &snap
+		}
+		rec.Record(s)
+	}
+}
+
+// signals extracts the flight recorder's trigger signals: network-wide
+// cumulative drops (switches + fabrics), congestion-detection activity,
+// and the worst instantaneous EQO estimation error.
+func (n *Net) signals() obsv.Signals {
+	tot := n.Counters()
+	sig := obsv.Signals{
+		Drops:          tot.Drops() + n.fabricDrops(),
+		CongestionHits: tot.CongestionHits(),
+	}
+	for _, sw := range n.switches {
+		if e := sw.MaxEQOErrorBytes(); e > sig.MaxEQOErrBytes {
+			sig.MaxEQOErrBytes = e
+		}
+	}
+	return sig
+}
+
+// fabricDrops sums the fabric-side drop counters.
+func (n *Net) fabricDrops() uint64 {
+	d := n.optical.DropsGuard + n.optical.DropsNoCircuit
+	if n.elec != nil {
+		d += n.elec.DropsQueue + n.elec.DropsNoRoute
+	}
+	return d
+}
