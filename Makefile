@@ -1,5 +1,5 @@
 # Tier-1: what every change must keep green.
-.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke
+.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke trace-smoke
 
 build:
 	go build ./...
@@ -39,3 +39,9 @@ sweep-smoke:
 # The obsv package itself runs under -race as part of `make check`.
 obsv-smoke:
 	bash scripts/obsv_smoke.sh
+
+# Trace-analytics smoke: oosim -trace-out through every `ooctl trace` view,
+# attribution identity clean, Perfetto export valid and deterministic,
+# corrupt-line tolerance surfaced. CI runs this.
+trace-smoke:
+	bash scripts/trace_smoke.sh

@@ -6,7 +6,10 @@
 //
 // It also fronts the live observability plane: `ooctl watch <addr>` polls
 // a running oosim/oobench -http server's /snapshot endpoint and renders a
-// live per-switch occupancy and drop table (watch.go).
+// live per-switch occupancy and drop table (watch.go) — and the offline
+// trace analytics: `ooctl trace <summary|flows|hops|drops|export>` reads
+// the JSONL written by oosim -trace-out and reports where packet time
+// went, with a Perfetto-compatible export (trace.go).
 //
 // Usage:
 //
@@ -14,6 +17,8 @@
 //	ooctl -n 8 -topo mesh -routing ecmp -dump-tables
 //	ooctl watch localhost:8080
 //	ooctl watch -once localhost:8080
+//	ooctl trace summary run.trace.jsonl
+//	ooctl trace export -o run.perfetto.json run.trace.jsonl
 package main
 
 import (
@@ -31,6 +36,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "watch" {
 		os.Exit(runWatch(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		os.Exit(runTrace(os.Args[2:]))
 	}
 	n := flag.Int("n", 8, "endpoint-node count")
 	uplink := flag.Int("uplink", 1, "optical uplinks per node")

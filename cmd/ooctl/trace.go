@@ -1,0 +1,266 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"openoptics/internal/core"
+	"openoptics/internal/traceanalysis"
+)
+
+// runTrace implements `ooctl trace <summary|flows|hops|drops|export>` over
+// a JSONL trace file written by oosim -trace-out (or any telemetry.Tracer
+// sink): offline latency attribution, flow/hotspot/drop reports, and a
+// Chrome trace-event export that loads in ui.perfetto.dev.
+func runTrace(args []string) int {
+	if len(args) == 0 {
+		traceUsage()
+		return 2
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "summary", "flows", "hops", "drops":
+		return runTraceReport(sub, rest)
+	case "export":
+		return runTraceExport(rest)
+	case "-h", "-help", "--help", "help":
+		traceUsage()
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "ooctl: unknown trace subcommand %q\n", sub)
+	traceUsage()
+	return 2
+}
+
+func traceUsage() {
+	fmt.Fprint(os.Stderr, `usage: ooctl trace <subcommand> [flags] <trace.jsonl>
+
+  summary   totals, latency percentiles, and the delay attribution
+  flows     per-flow FCT and attribution, slowest first
+  hops      per-node and per-slice dwell hotspots
+  drops     drop postmortems grouped by reason x node x slice
+  export    write Chrome trace-event JSON for ui.perfetto.dev
+
+Flags (report subcommands): -top N limits table rows (0 = all).
+Flags (export): -o FILE output path (default "-" = stdout),
+                -max-arrows N flow-arrow packet cap (-1 disables).
+`)
+}
+
+// runTraceReport runs the analysis once and renders the chosen view.
+func runTraceReport(sub string, args []string) int {
+	fs := flag.NewFlagSet("trace "+sub, flag.ExitOnError)
+	top := fs.Int("top", 10, "rows per table, 0 = all")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ooctl trace %s [-top N] <trace.jsonl>\n", sub)
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	a, err := traceanalysis.AnalyzeFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooctl: trace:", err)
+		return 1
+	}
+	switch sub {
+	case "summary":
+		renderSummary(os.Stdout, fs.Arg(0), a)
+	case "flows":
+		renderFlows(os.Stdout, a, *top)
+	case "hops":
+		renderHops(os.Stdout, a, *top)
+	case "drops":
+		renderDrops(os.Stdout, a, *top)
+	}
+	return 0
+}
+
+func runTraceExport(args []string) int {
+	fs := flag.NewFlagSet("trace export", flag.ExitOnError)
+	out := fs.String("o", "-", `output path ("-" = stdout)`)
+	maxArrows := fs.Int("max-arrows", 0, "flow-arrow packet cap (0 = default, <0 disables)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ooctl trace export [-o FILE] [-max-arrows N] <trace.jsonl>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	var traces []*core.PktTrace
+	rs, err := traceanalysis.ScanFile(fs.Arg(0), func(tr *core.PktTrace) {
+		traces = append(traces, tr)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooctl: trace:", err)
+		return 1
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ooctl: trace:", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	opts := traceanalysis.ExportOptions{MaxFlowPackets: *maxArrows}
+	if err := traceanalysis.ExportChromeTrace(w, traces, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "ooctl: trace:", err)
+		return 1
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "ooctl: exported %d traces (%d corrupt lines skipped) to %s — open in ui.perfetto.dev\n",
+			rs.Records, rs.Corrupt, *out)
+	}
+	return 0
+}
+
+// fmtNs renders virtual nanoseconds as a duration.
+func fmtNs(ns int64) string { return time.Duration(ns).String() }
+
+// fmtNode renders a node ID ("fabric" for NoNode).
+func fmtNode(n core.NodeID) string {
+	if n == core.NoNode {
+		return "fabric"
+	}
+	return fmt.Sprintf("N%d", n)
+}
+
+// fmtSlice renders a slice ("*" for wildcard).
+func fmtSlice(s core.Slice) string {
+	if s.IsWildcard() {
+		return "*"
+	}
+	return fmt.Sprintf("%d", s)
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+func renderSummary(w io.Writer, path string, a *traceanalysis.Analysis) {
+	fmt.Fprintf(w, "trace: %s\n", path)
+	fmt.Fprintf(w, "records: %d (delivered %d, dropped %d)", a.Records(), a.Delivered, a.Dropped)
+	if a.Read.Corrupt > 0 {
+		fmt.Fprintf(w, ", corrupt lines skipped: %d", a.Read.Corrupt)
+	}
+	fmt.Fprintln(w)
+	if a.Records() == 0 {
+		return
+	}
+	fmt.Fprintf(w, "span: %s – %s virtual (%s)\n",
+		fmtNs(a.FirstNs), fmtNs(a.LastNs), fmtNs(a.LastNs-a.FirstNs))
+	fmt.Fprintf(w, "flows: %d\n", len(a.Flows))
+	if a.Delivered > 0 {
+		fmt.Fprintf(w, "latency: p50=%s p95=%s p99=%s max=%s\n",
+			fmtNs(int64(a.Latency.Percentile(50))), fmtNs(int64(a.Latency.Percentile(95))),
+			fmtNs(int64(a.Latency.Percentile(99))), fmtNs(int64(a.Latency.Max())))
+		total := a.CompTotal.TotalNs()
+		fmt.Fprintln(w, "attribution (share of delivered latency; per-packet p50/p95/p99):")
+		for _, c := range []struct {
+			name  string
+			total int64
+			s     interface{ Percentile(float64) float64 }
+		}{
+			{"slice_wait", a.CompTotal.SliceWaitNs, a.SliceWait},
+			{"queueing", a.CompTotal.QueueingNs, a.Queueing},
+			{"serialization", a.CompTotal.SerializationNs, a.Ser},
+			{"propagation", a.CompTotal.PropagationNs, a.Prop},
+		} {
+			fmt.Fprintf(w, "  %-14s %5.1f%%  p50=%-10s p95=%-10s p99=%s\n",
+				c.name, pct(c.total, total),
+				fmtNs(int64(c.s.Percentile(50))), fmtNs(int64(c.s.Percentile(95))),
+				fmtNs(int64(c.s.Percentile(99))))
+		}
+	}
+	if a.IdentityViolations > 0 {
+		fmt.Fprintf(w, "identity violations: %d (delivered traces with incomplete hop stamps)\n",
+			a.IdentityViolations)
+	}
+	if a.Dropped > 0 {
+		fmt.Fprintln(w, "drops by reason:")
+		seen := map[core.DropReason]int{}
+		for _, g := range a.DropGroups() {
+			seen[g.Key.Reason] += g.Count
+		}
+		for _, g := range a.DropGroups() {
+			if n, ok := seen[g.Key.Reason]; ok {
+				fmt.Fprintf(w, "  %-14s %d\n", g.Key.Reason, n)
+				delete(seen, g.Key.Reason)
+			}
+		}
+	}
+}
+
+func clip[T any](s []T, top int) []T {
+	if top > 0 && len(s) > top {
+		return s[:top]
+	}
+	return s
+}
+
+func renderFlows(w io.Writer, a *traceanalysis.Analysis, top int) {
+	flows := a.SortedFlows()
+	fmt.Fprintf(w, "%d flows, slowest first:\n", len(flows))
+	fmt.Fprintf(w, "%-28s %-5s %-5s %6s %6s %10s %12s %12s %6s\n",
+		"FLOW", "SRC", "DST", "PKTS", "DROPS", "BYTES", "FCT", "MAX_LAT", "WAIT%")
+	for _, f := range clip(flows, top) {
+		wait := pct(f.Comp.SliceWaitNs+f.Comp.QueueingNs, f.Comp.TotalNs())
+		fmt.Fprintf(w, "%-28s %-5s %-5s %6d %6d %10d %12s %12s %5.1f%%\n",
+			f.Flow, fmtNode(f.SrcNode), fmtNode(f.DstNode), f.Pkts, f.Drops, f.Bytes,
+			fmtNs(f.FCTNs()), fmtNs(f.MaxLatencyNs), wait)
+	}
+}
+
+func renderHops(w io.Writer, a *traceanalysis.Analysis, top int) {
+	hs := a.Hotspots()
+	fmt.Fprintf(w, "per-node dwell, hottest first (%d nodes):\n", len(hs))
+	fmt.Fprintf(w, "%-7s %7s %14s %14s %12s %12s %10s %6s\n",
+		"NODE", "HOPS", "SLICE_WAIT", "QUEUEING", "SER", "MAX_WAIT", "MAX_QLEN", "DROPS")
+	for _, n := range clip(hs, top) {
+		fmt.Fprintf(w, "%-7s %7d %14s %14s %12s %12s %9dB %6d\n",
+			fmtNode(n.Node), n.Hops, fmtNs(n.SliceWaitNs), fmtNs(n.QueueingNs),
+			fmtNs(n.SerNs), fmtNs(n.MaxWaitNs), n.MaxQueueBytes, n.Drops)
+	}
+	ss := a.SliceHotspots()
+	if len(ss) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "calendar queues by slice-wait, hottest first (%d node x slice pairs):\n", len(ss))
+	fmt.Fprintf(w, "%-7s %-6s %7s %14s %12s\n", "NODE", "SLICE", "HOPS", "SLICE_WAIT", "MAX_WAIT")
+	for _, s := range clip(ss, top) {
+		fmt.Fprintf(w, "%-7s %-6s %7d %14s %12s\n",
+			fmtNode(s.Key.Node), fmtSlice(s.Key.Slice), s.Hops,
+			fmtNs(s.SliceWaitNs), fmtNs(s.MaxWaitNs))
+	}
+}
+
+func renderDrops(w io.Writer, a *traceanalysis.Analysis, top int) {
+	groups := a.DropGroups()
+	if len(groups) == 0 {
+		fmt.Fprintln(w, "no drops recorded")
+		return
+	}
+	fmt.Fprintf(w, "%d drops in %d groups (reason x node x slice), largest first:\n",
+		a.Dropped, len(groups))
+	fmt.Fprintf(w, "%-14s %-7s %-6s %7s %10s %12s %12s %9s %10s\n",
+		"REASON", "NODE", "SLICE", "COUNT", "BYTES", "FIRST", "LAST", "AVG_HOPS", "EXAMPLE")
+	for _, g := range clip(groups, top) {
+		avgHops := float64(g.HopsSeen) / float64(g.Count)
+		fmt.Fprintf(w, "%-14s %-7s %-6s %7d %10d %12s %12s %9.1f %10d\n",
+			g.Key.Reason, fmtNode(g.Key.Node), fmtSlice(g.Key.Slice), g.Count, g.Bytes,
+			fmtNs(g.FirstNs), fmtNs(g.LastNs), avgHops, g.ExamplePkt)
+	}
+}

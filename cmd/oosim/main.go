@@ -24,6 +24,7 @@ import (
 	"openoptics/internal/arch"
 	"openoptics/internal/obsv"
 	"openoptics/internal/sim"
+	"openoptics/internal/telemetry"
 	"openoptics/internal/traffic"
 )
 
@@ -110,6 +111,7 @@ func run() int {
 	if *metricsOut != "" || *httpAddr != "" {
 		in.Net.Metrics()
 	}
+	var tracer *telemetry.Tracer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -117,7 +119,8 @@ func run() int {
 		}
 		w := bufio.NewWriter(f)
 		defer func() { w.Flush(); f.Close() }()
-		in.Net.Tracer(*traceSample).SetSink(w)
+		tracer = in.Net.Tracer(*traceSample)
+		tracer.SetSink(w)
 	}
 	var srv *obsv.Server
 	if *httpAddr != "" {
@@ -231,6 +234,11 @@ func run() int {
 			fmt.Printf("profile: %-16s %10d events %12.3f ms\n",
 				cs.Class, cs.Count, float64(cs.WallNs)/1e6)
 		}
+	}
+	if tracer != nil {
+		// Flush per-flow completion times into oo_trace_fct_ns before the
+		// final metrics export.
+		tracer.FinalizeFlows()
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(in.Net, *metricsOut); err != nil {

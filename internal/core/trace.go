@@ -35,10 +35,12 @@ const (
 )
 
 // TraceHop is one per-hop record appended by the device that forwarded the
-// packet: where it was, which way it left, in which slices, and how deep
-// the chosen queue was at enqueue time.
+// packet: where it was, which way it left, in which slices, how deep the
+// chosen queue was at enqueue time, and — once the packet leaves again —
+// when it reached the head of that queue and when it finished serializing.
 type TraceHop struct {
-	// TimeNs is the virtual time the forwarding decision was made.
+	// TimeNs is the virtual time the forwarding decision was made (the
+	// packet entered its egress queue).
 	TimeNs int64 `json:"t_ns"`
 	// Node is the endpoint node making the decision (NoNode for fabric
 	// hops).
@@ -52,6 +54,24 @@ type TraceHop struct {
 	// QueueBytes is the egress calendar queue's occupancy at enqueue time,
 	// before this packet was added.
 	QueueBytes int64 `json:"queue_bytes"`
+	// DeqNs is the virtual time the packet was dequeued: the departure-
+	// slice pause had ended, the packet had reached the head of its queue,
+	// and transmission began. Zero until the packet is dequeued — a dropped
+	// packet's final hop can keep DeqNs == 0 forever.
+	DeqNs int64 `json:"deq_ns"`
+	// TxDoneNs is the virtual time serialization onto the egress wire
+	// completed (DeqNs + the wire's serialization delay). Zero until the
+	// packet is dequeued.
+	TxDoneNs int64 `json:"txdone_ns"`
+}
+
+// Calendar reports whether this hop went through a slice-aligned calendar
+// queue — an endpoint-node decision with a concrete departure slice. The
+// delay decomposition attributes a calendar hop's pre-dequeue wait to
+// slice-wait (the queue is paused until its circuit comes up, guardband
+// included) and every other hop's wait to plain FIFO queueing.
+func (h *TraceHop) Calendar() bool {
+	return h.Node != NoNode && !h.DepSlice.IsWildcard()
 }
 
 // PktTrace is the in-band trace carried by a sampled packet and flushed as
@@ -74,7 +94,122 @@ type PktTrace struct {
 	// the drop happened inside a fabric).
 	EndNode NodeID `json:"end_node"`
 	EndNs   int64  `json:"end_ns"`
+	// EndSlice is the packet's arrival slice at its final node — for a
+	// drop, the slice the drop counters attribute it to.
+	EndSlice Slice `json:"end_slice"`
 }
 
 // AddHop appends one hop record.
 func (t *PktTrace) AddHop(h TraceHop) { t.Hops = append(t.Hops, h) }
+
+// MarkDequeued stamps the trace's pending hop — the one node appended when
+// it queued the packet — with the dequeue and serialization-complete
+// times. The guard (same node, not yet stamped) makes the call safe on
+// paths where the packet sits in a queue the recording node did not append
+// a hop for, e.g. the downlink trip of a buffer-offloaded packet.
+func (t *PktTrace) MarkDequeued(node NodeID, deqNs, txDoneNs int64) {
+	if len(t.Hops) == 0 {
+		return
+	}
+	h := &t.Hops[len(t.Hops)-1]
+	if h.Node != node || h.DeqNs != 0 || h.TxDoneNs != 0 {
+		return
+	}
+	h.DeqNs = deqNs
+	h.TxDoneNs = txDoneNs
+}
+
+// Decomposition is a delivered packet's end-to-end latency split into the
+// four places virtual time can go. For every delivered trace with complete
+// hop stamps, the components sum exactly to EndNs − StartNs.
+type Decomposition struct {
+	// SliceWaitNs is time spent in paused calendar queues waiting for the
+	// departure slice's circuit — reconfiguration guardbands and
+	// head-of-line wait inside the slice included.
+	SliceWaitNs int64 `json:"slice_wait_ns"`
+	// QueueingNs is time spent in plain FIFO queues: electrical-fabric
+	// output queues, switch downlinks, and wildcard-slice (TA) ports.
+	QueueingNs int64 `json:"queueing_ns"`
+	// SerializationNs is time spent putting bits on wires, the source NIC
+	// included.
+	SerializationNs int64 `json:"serialization_ns"`
+	// PropagationNs is everything between one device's last bit out and
+	// the next device's forwarding decision: wire propagation, optical
+	// cut-through relay, and ingress pipeline latency. Bufferless optical
+	// fabrics contribute only here.
+	PropagationNs int64 `json:"propagation_ns"`
+}
+
+// TotalNs returns the component sum.
+func (d Decomposition) TotalNs() int64 {
+	return d.SliceWaitNs + d.QueueingNs + d.SerializationNs + d.PropagationNs
+}
+
+// Add accumulates o into d.
+func (d *Decomposition) Add(o Decomposition) {
+	d.SliceWaitNs += o.SliceWaitNs
+	d.QueueingNs += o.QueueingNs
+	d.SerializationNs += o.SerializationNs
+	d.PropagationNs += o.PropagationNs
+}
+
+// HopDelay is one hop's share of a delivered packet's latency: the wait
+// before dequeue (slice-wait or queueing depending on the hop kind),
+// serialization, and the propagation gap to the next decision point (the
+// delivery instant for the final hop).
+type HopDelay struct {
+	Hop    *TraceHop
+	WaitNs int64 // DeqNs − TimeNs, attributed per Hop.Calendar()
+	SerNs  int64 // TxDoneNs − DeqNs
+	PropNs int64 // next hop's TimeNs (or EndNs) − TxDoneNs
+}
+
+// HopDelays computes the per-hop latency shares of a delivered trace. It
+// returns nil when the trace is not a delivered one, has no hops, or any
+// hop lacks dequeue stamps or orders its timestamps inconsistently — the
+// conditions under which the decomposition identity cannot hold.
+func (t *PktTrace) HopDelays() []HopDelay {
+	if t.Disposition != DispDelivered || len(t.Hops) == 0 {
+		return nil
+	}
+	out := make([]HopDelay, len(t.Hops))
+	for i := range t.Hops {
+		h := &t.Hops[i]
+		next := t.EndNs
+		if i+1 < len(t.Hops) {
+			next = t.Hops[i+1].TimeNs
+		}
+		if h.DeqNs < h.TimeNs || h.TxDoneNs < h.DeqNs || next < h.TxDoneNs {
+			return nil
+		}
+		out[i] = HopDelay{
+			Hop:    h,
+			WaitNs: h.DeqNs - h.TimeNs,
+			SerNs:  h.TxDoneNs - h.DeqNs,
+			PropNs: next - h.TxDoneNs,
+		}
+	}
+	return out
+}
+
+// Decompose sums HopDelays into the four-way attribution. ok is false when
+// the trace is not delivered or its hop stamps are incomplete; when ok,
+// the components sum exactly to EndNs − StartNs provided the first hop was
+// recorded at StartNs (the source NIC hop, which hosts always append).
+func (t *PktTrace) Decompose() (Decomposition, bool) {
+	hd := t.HopDelays()
+	if hd == nil || t.Hops[0].TimeNs != t.StartNs {
+		return Decomposition{}, false
+	}
+	var d Decomposition
+	for i := range hd {
+		if hd[i].Hop.Calendar() {
+			d.SliceWaitNs += hd[i].WaitNs
+		} else {
+			d.QueueingNs += hd[i].WaitNs
+		}
+		d.SerializationNs += hd[i].SerNs
+		d.PropagationNs += hd[i].PropNs
+	}
+	return d, true
+}

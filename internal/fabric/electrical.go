@@ -86,6 +86,19 @@ func (a *elecEnqueue) RunEvent(arg any, v int64) {
 		f.traceDrop(pkt, core.DropElecQueue)
 		return
 	}
+	if pkt.Trace != nil {
+		// Fabric hops have no endpoint node and no slice schedule; their
+		// pre-dequeue wait is attributed to plain queueing.
+		pkt.Trace.AddHop(core.TraceHop{
+			TimeNs:     f.eng.Now(),
+			Node:       core.NoNode,
+			InPort:     core.NoPort,
+			Egress:     core.PortID(v),
+			ArrSlice:   core.WildcardSlice,
+			DepSlice:   core.WildcardSlice,
+			QueueBytes: p.bytes,
+		})
+	}
 	p.fifo.PushBack(pkt)
 	p.bytes += int64(pkt.Size)
 	if p.bytes > p.maxSeen {
@@ -103,6 +116,9 @@ func (f *ElectricalFabric) drain(p *elecPort) {
 	pkt := p.fifo.PopFront()
 	p.bytes -= int64(pkt.Size)
 	ser := p.link.SerializationDelay(pkt.Size)
+	if pkt.Trace != nil {
+		pkt.Trace.MarkDequeued(core.NoNode, f.eng.Now(), f.eng.Now()+ser)
+	}
 	p.link.Send(f, pkt)
 	f.Forwarded++
 	f.eng.AfterEvent(ser, sim.ClassFabricElec, (*elecTxDone)(f), p, 0)

@@ -225,11 +225,30 @@ func (h *Host) pump() {
 	h.busy = true
 	size := it.pkt.Size
 	h.Counters.TxPkts++
+	ser := h.link.SerializationDelay(size)
 	if h.Tracer != nil {
 		h.Tracer.Start(it.pkt, h.eng.Now())
 	}
+	if it.pkt.Trace != nil && len(it.pkt.Trace.Hops) == 0 {
+		// Source-NIC hop, recorded fully stamped: the NIC never waits once
+		// a packet is popped (wait 0), and busy-flag serialization pins
+		// txdone at Now+ser. Anchoring Hops[0] at StartNs is what makes the
+		// delay decomposition sum exactly to EndNs − StartNs. Retransmits
+		// and offload-return pumps keep their original first hop.
+		now := h.eng.Now()
+		it.pkt.Trace.AddHop(core.TraceHop{
+			TimeNs:     now,
+			Node:       h.Cfg.Node,
+			InPort:     core.NoPort,
+			Egress:     core.NoPort,
+			ArrSlice:   core.WildcardSlice,
+			DepSlice:   core.WildcardSlice,
+			QueueBytes: h.queuedB - int64(size),
+			DeqNs:      now,
+			TxDoneNs:   now + ser,
+		})
+	}
 	h.link.Send(h, it.pkt)
-	ser := h.link.SerializationDelay(size)
 	h.eng.AfterEvent(ser, sim.ClassHostTx, (*txDoneAction)(h), nil, int64(size))
 }
 

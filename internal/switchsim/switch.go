@@ -582,6 +582,12 @@ func (s *Switch) drain(p *outPort) {
 		}
 	}
 	q.fifo.PopFront()
+	if pkt.Trace != nil {
+		// TxDoneNs can be stamped now: busy-flag serialization means the
+		// wire starts at Now, so serialization completes at Now+ser — the
+		// same instant the txDoneAction below fires.
+		pkt.Trace.MarkDequeued(s.Cfg.ID, s.eng.Now(), s.eng.Now()+ser)
+	}
 	p.busy = true
 	p.txBytes += uint64(pkt.Size)
 	p.txPkts++

@@ -303,3 +303,95 @@ func TestTypeMismatchPanics(t *testing.T) {
 		r.GaugeFunc("oo_t_total", "t", func() float64 { return 0 })
 	})
 }
+
+// TestTracerStatsAndDecomposition pins the tracer's per-disposition
+// accounting, the latency-attribution totals, the EndSlice stamp, and the
+// per-flow FCT flush.
+func TestTracerStatsAndDecomposition(t *testing.T) {
+	tr := NewTracer(1, nil)
+	reg := NewRegistry()
+	tr.ObserveInto(reg)
+	flow := core.FlowKey{SrcHost: 1, DstHost: 2, SrcPort: 10, DstPort: 20, Proto: core.ProtoUDP}
+
+	// Packet 1: fully stamped — NIC hop then a calendar hop.
+	p1 := &core.Packet{ID: 1, Flow: flow, SrcNode: 0, DstNode: 3, Size: 100}
+	tr.Start(p1, 100)
+	p1.Trace.AddHop(core.TraceHop{TimeNs: 100, Node: 0, ArrSlice: core.WildcardSlice,
+		DepSlice: core.WildcardSlice, DeqNs: 100, TxDoneNs: 110})
+	p1.Trace.AddHop(core.TraceHop{TimeNs: 130, Node: 1, ArrSlice: 0, DepSlice: 1})
+	p1.Trace.MarkDequeued(1, 170, 180)
+	p1.ArrSlice = 2
+	tr.Deliver(p1, 3, 200)
+
+	// Packet 2: dropped while queued (no dequeue stamp on the last hop).
+	p2 := &core.Packet{ID: 2, Flow: flow, SrcNode: 0, DstNode: 3, Size: 100}
+	tr.Start(p2, 300)
+	p2.Trace.AddHop(core.TraceHop{TimeNs: 300, Node: 0, ArrSlice: core.WildcardSlice,
+		DepSlice: core.WildcardSlice, DeqNs: 300, TxDoneNs: 310})
+	p2.ArrSlice = 1
+	tr.Drop(p2, core.DropBuffer, 1, 350)
+
+	st := tr.Stats()
+	if st.Delivered != 1 || st.Dropped != 1 || st.Finished != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.IdentityViolations != 0 {
+		t.Fatalf("clean stamps counted as violations: %+v", st)
+	}
+	// p1: NIC wait 0 (queueing), ser 10; calendar wait 40 (slice), ser 10;
+	// prop = (130-110) + (200-180) = 40. Total 100 = EndNs - StartNs.
+	want := core.Decomposition{SliceWaitNs: 40, QueueingNs: 0, SerializationNs: 20, PropagationNs: 40}
+	if st.Comp != want {
+		t.Fatalf("attribution %+v, want %+v", st.Comp, want)
+	}
+	if st.Comp.TotalNs() != st.DeliveredLatencyNs {
+		t.Fatalf("attribution sums to %d, delivered latency %d", st.Comp.TotalNs(), st.DeliveredLatencyNs)
+	}
+	if st.Flows != 1 {
+		t.Fatalf("flows = %d, want 1", st.Flows)
+	}
+
+	// EndSlice rides into the JSONL record via the OnFinish-visible trace.
+	var got *core.PktTrace
+	tr.OnFinish = func(x *core.PktTrace) { got = x }
+	p3 := &core.Packet{ID: 3, Flow: flow, SrcNode: 0, DstNode: 3, Size: 100}
+	tr.Start(p3, 400)
+	p3.ArrSlice = 5
+	tr.Drop(p3, core.DropGuard, core.NoNode, 450)
+	if got == nil || got.EndSlice != 5 {
+		t.Fatalf("EndSlice not stamped at finish: %+v", got)
+	}
+
+	// FinalizeFlows observes one FCT per flow, then forgets.
+	tr.FinalizeFlows()
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("oo_trace_fct_ns_count 1")) {
+		t.Fatalf("FCT histogram missing the flow:\n%s", buf.String())
+	}
+	if tr.Stats().Flows != 0 {
+		t.Fatal("FinalizeFlows kept flow state")
+	}
+}
+
+// TestMarkDequeuedGuards pins the stamp guard: only the recording node's
+// own un-stamped pending hop is written.
+func TestMarkDequeuedGuards(t *testing.T) {
+	var pt core.PktTrace
+	pt.MarkDequeued(0, 10, 20) // no hops: no-op
+	pt.AddHop(core.TraceHop{TimeNs: 5, Node: 2})
+	pt.MarkDequeued(3, 10, 20) // wrong node
+	if pt.Hops[0].DeqNs != 0 {
+		t.Fatal("stamped another node's hop")
+	}
+	pt.MarkDequeued(2, 10, 20)
+	if pt.Hops[0].DeqNs != 10 || pt.Hops[0].TxDoneNs != 20 {
+		t.Fatalf("stamp missing: %+v", pt.Hops[0])
+	}
+	pt.MarkDequeued(2, 99, 99) // already stamped: keep first
+	if pt.Hops[0].DeqNs != 10 {
+		t.Fatal("re-stamped a stamped hop")
+	}
+}

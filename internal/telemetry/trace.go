@@ -31,9 +31,70 @@ type Tracer struct {
 	Finished uint64
 	SinkErrs uint64
 
+	// Per-disposition breakdown of Finished, running latency-attribution
+	// totals over delivered traces, and the count of delivered traces whose
+	// hop stamps failed the decomposition identity (should stay 0; a
+	// nonzero value means a forwarding path forgot a stamp).
+	delivered          uint64
+	dropped            uint64
+	identityViolations uint64
+	comp               core.Decomposition
+	deliveredLatencyNs int64
+
+	// flows tracks the virtual-time span of every sampled flow seen, for
+	// FCT histograms (FinalizeFlows) and the Stats flow count.
+	flows map[string]*flowSpan
+
 	// observe feeds finished traces into registry histograms (ObserveInto);
 	// separate from OnFinish so users keep that hook for themselves.
-	observe func(*core.PktTrace)
+	observe     func(*core.PktTrace)
+	observeComp func(core.Decomposition)
+	fct         *Histogram
+}
+
+// flowSpan is one sampled flow's delivered-packet span: first transmission
+// start to last delivery.
+type flowSpan struct {
+	startNs int64
+	endNs   int64
+	pkts    uint64
+	bytes   int64
+}
+
+// TraceStats is a point-in-time summary of a Tracer's activity, exposed in
+// Net.Snapshot().
+type TraceStats struct {
+	Started   uint64 `json:"started"`
+	Finished  uint64 `json:"finished"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	SinkErrs  uint64 `json:"sink_errors"`
+	// Flows is the number of distinct sampled flows with at least one
+	// delivered packet.
+	Flows int `json:"flows"`
+	// IdentityViolations counts delivered traces whose per-hop stamps did
+	// not decompose (a stamp was missing or out of order). Always 0 unless
+	// a forwarding path has a telemetry bug.
+	IdentityViolations uint64 `json:"identity_violations"`
+	// Comp is the summed latency attribution over all delivered traces;
+	// Comp.TotalNs() == DeliveredLatencyNs when IdentityViolations == 0.
+	Comp               core.Decomposition `json:"component_totals"`
+	DeliveredLatencyNs int64              `json:"delivered_latency_ns_total"`
+}
+
+// Stats returns the tracer's current counters and attribution totals.
+func (t *Tracer) Stats() TraceStats {
+	return TraceStats{
+		Started:            t.Started,
+		Finished:           t.Finished,
+		Delivered:          t.delivered,
+		Dropped:            t.dropped,
+		SinkErrs:           t.SinkErrs,
+		Flows:              len(t.flows),
+		IdentityViolations: t.identityViolations,
+		Comp:               t.comp,
+		DeliveredLatencyNs: t.deliveredLatencyNs,
+	}
 }
 
 // NewTracer builds a tracer sampling the given fraction of flows
@@ -64,17 +125,34 @@ func (t *Tracer) SetSink(w io.Writer) {
 	}
 }
 
-// ObserveInto summarizes finished traces into two histograms on reg:
+// Histogram bounds shared by the end-to-end latency, the per-component
+// attribution, and the per-flow FCT histograms, so the distributions are
+// directly comparable on /metrics.
+var traceLatencyBounds = []float64{1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7}
+
+// ObserveInto summarizes finished traces into registry histograms:
 // oo_trace_latency_ns (end-to-end virtual latency of delivered sampled
-// packets) and oo_trace_hops (forwarding decisions per delivered packet).
+// packets), oo_trace_hops (forwarding decisions per delivered packet),
+// oo_trace_component_ns{component=slice_wait|queueing|serialization|
+// propagation} (the per-packet latency attribution), and oo_trace_fct_ns
+// (per-flow completion time, observed by FinalizeFlows at end of run).
 // Idempotent; independent of the user-facing OnFinish hook.
 func (t *Tracer) ObserveInto(reg *Registry) {
 	lat := reg.Histogram("oo_trace_latency_ns",
 		"End-to-end virtual latency of delivered sampled packets.",
-		[]float64{1e3, 1e4, 1e5, 3e5, 1e6, 3e6, 1e7})
+		traceLatencyBounds)
 	hops := reg.Histogram("oo_trace_hops",
 		"Forwarding decisions per delivered sampled packet.",
 		[]float64{1, 2, 3, 4, 6, 8})
+	comp := make(map[string]*Histogram, 4)
+	for _, c := range []string{"slice_wait", "queueing", "serialization", "propagation"} {
+		comp[c] = reg.Histogram("oo_trace_component_ns",
+			"Per-packet latency attribution by component.",
+			traceLatencyBounds, L("component", c))
+	}
+	t.fct = reg.Histogram("oo_trace_fct_ns",
+		"Sampled-flow completion time: first transmission to last delivery (observed at FinalizeFlows).",
+		traceLatencyBounds)
 	t.observe = func(tr *core.PktTrace) {
 		if tr.Disposition != core.DispDelivered {
 			return
@@ -82,6 +160,26 @@ func (t *Tracer) ObserveInto(reg *Registry) {
 		lat.Observe(float64(tr.EndNs - tr.StartNs))
 		hops.Observe(float64(len(tr.Hops)))
 	}
+	t.observeComp = func(d core.Decomposition) {
+		comp["slice_wait"].Observe(float64(d.SliceWaitNs))
+		comp["queueing"].Observe(float64(d.QueueingNs))
+		comp["serialization"].Observe(float64(d.SerializationNs))
+		comp["propagation"].Observe(float64(d.PropagationNs))
+	}
+}
+
+// FinalizeFlows observes every tracked flow's completion time (first
+// transmission start to last delivery) into the oo_trace_fct_ns histogram
+// registered by ObserveInto, then forgets the flows. Call once at end of
+// run, before exporting metrics; calling it mid-run splits flows that are
+// still transmitting into two observations.
+func (t *Tracer) FinalizeFlows() {
+	for _, fs := range t.flows {
+		if t.fct != nil {
+			t.fct.Observe(float64(fs.endNs - fs.startNs))
+		}
+	}
+	t.flows = nil
 }
 
 // Sampled reports whether the flow is in the sampled set.
@@ -132,7 +230,38 @@ func (t *Tracer) finish(pkt *core.Packet, disp string, reason core.DropReason, n
 	tr.Reason = reason
 	tr.EndNode = node
 	tr.EndNs = now
+	tr.EndSlice = pkt.ArrSlice
 	t.Finished++
+	if disp == core.DispDelivered {
+		t.delivered++
+		t.deliveredLatencyNs += tr.EndNs - tr.StartNs
+		if d, ok := tr.Decompose(); ok {
+			t.comp.Add(d)
+			if t.observeComp != nil {
+				t.observeComp(d)
+			}
+		} else {
+			t.identityViolations++
+		}
+		fs := t.flows[tr.Flow]
+		if fs == nil {
+			if t.flows == nil {
+				t.flows = make(map[string]*flowSpan)
+			}
+			fs = &flowSpan{startNs: tr.StartNs}
+			t.flows[tr.Flow] = fs
+		}
+		if tr.StartNs < fs.startNs {
+			fs.startNs = tr.StartNs
+		}
+		if tr.EndNs > fs.endNs {
+			fs.endNs = tr.EndNs
+		}
+		fs.pkts++
+		fs.bytes += int64(tr.Size)
+	} else {
+		t.dropped++
+	}
 	if t.observe != nil {
 		t.observe(tr)
 	}

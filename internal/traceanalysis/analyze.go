@@ -1,0 +1,328 @@
+package traceanalysis
+
+import (
+	"sort"
+
+	"openoptics/internal/core"
+	"openoptics/internal/stats"
+)
+
+// Analysis is the streaming aggregation over a trace set: feed it every
+// record with Observe, then query. All maps are keyed deterministically
+// and every Top*/sorted accessor breaks ties by key, so the same trace
+// file always renders the same report.
+type Analysis struct {
+	Read ReadStats
+
+	Delivered int
+	Dropped   int
+	// IdentityViolations counts delivered traces whose hop stamps did not
+	// decompose; their latency still feeds Latency but not the components.
+	IdentityViolations int
+
+	// FirstNs/LastNs span the observed virtual time (min StartNs, max EndNs).
+	FirstNs int64
+	LastNs  int64
+
+	// Latency samples EndNs−StartNs over delivered traces; Comp* sample the
+	// four attribution components per delivered packet. CompTotal is their
+	// network-wide sum.
+	Latency   *stats.Sample
+	SliceWait *stats.Sample
+	Queueing  *stats.Sample
+	Ser       *stats.Sample
+	Prop      *stats.Sample
+	CompTotal core.Decomposition
+
+	Flows  map[string]*FlowStat
+	Nodes  map[core.NodeID]*NodeStat
+	Slices map[SliceKey]*SliceStat
+	Drops  map[DropKey]*DropStat
+}
+
+// FlowStat is one sampled flow's delivery record: per-packet latency
+// aggregates, the attribution sum, and the flow completion time (first
+// packet's transmission start to last packet's delivery).
+type FlowStat struct {
+	Flow             string
+	SrcNode, DstNode core.NodeID
+	Pkts, Drops      int
+	Bytes            int64
+	FirstStartNs     int64
+	LastEndNs        int64
+	SumLatencyNs     int64
+	MaxLatencyNs     int64
+	Comp             core.Decomposition
+}
+
+// FCTNs is the flow completion time (0 until a packet is delivered).
+func (f *FlowStat) FCTNs() int64 {
+	if f.Pkts == 0 {
+		return 0
+	}
+	return f.LastEndNs - f.FirstStartNs
+}
+
+// NodeStat aggregates every stamped hop recorded at one node (NoNode
+// collects the fabric hops): where the dwell went and how deep the queues
+// ran. TotalNs ranks hotspots — the node's entire contribution to sampled
+// packet latency, excluding downstream propagation.
+type NodeStat struct {
+	Node          core.NodeID
+	Hops          int
+	SliceWaitNs   int64
+	QueueingNs    int64
+	SerNs         int64
+	MaxWaitNs     int64
+	MaxQueueBytes int64
+	Drops         int
+}
+
+// TotalNs is the node's summed dwell: wait of both kinds plus serialization.
+func (n *NodeStat) TotalNs() int64 { return n.SliceWaitNs + n.QueueingNs + n.SerNs }
+
+// SliceKey identifies a calendar queue: a node and a departure slice.
+type SliceKey struct {
+	Node  core.NodeID
+	Slice core.Slice
+}
+
+// SliceStat aggregates the calendar hops of one node×slice pair — the
+// per-slice hotspot view. Only hops with a concrete departure slice land
+// here.
+type SliceStat struct {
+	Key         SliceKey
+	Hops        int
+	SliceWaitNs int64
+	MaxWaitNs   int64
+}
+
+// DropKey groups drop postmortems: why × where × when-in-cycle. Slice is
+// the packet's arrival slice at the dropping device (WildcardSlice when
+// the drop happened outside the calendar, e.g. at a NIC or fabric).
+type DropKey struct {
+	Reason core.DropReason
+	Node   core.NodeID
+	Slice  core.Slice
+}
+
+// DropStat is one postmortem group.
+type DropStat struct {
+	Key   DropKey
+	Count int
+	Bytes int64
+	// FirstNs/LastNs bound the group's drop times; ExamplePkt is the first
+	// dropped packet's ID, a starting point for grepping the raw JSONL.
+	FirstNs    int64
+	LastNs     int64
+	ExamplePkt uint64
+	// HopsSeen sums len(Hops) at drop time — how far packets got before
+	// dying (0 hops = dropped before any forwarding decision was stamped).
+	HopsSeen int
+}
+
+// New returns an empty analysis.
+func New() *Analysis {
+	return &Analysis{
+		FirstNs:   -1,
+		Latency:   stats.NewSample(),
+		SliceWait: stats.NewSample(),
+		Queueing:  stats.NewSample(),
+		Ser:       stats.NewSample(),
+		Prop:      stats.NewSample(),
+		Flows:     make(map[string]*FlowStat),
+		Nodes:     make(map[core.NodeID]*NodeStat),
+		Slices:    make(map[SliceKey]*SliceStat),
+		Drops:     make(map[DropKey]*DropStat),
+	}
+}
+
+// Observe folds one finished trace into the aggregation.
+func (a *Analysis) Observe(tr *core.PktTrace) {
+	if a.FirstNs < 0 || tr.StartNs < a.FirstNs {
+		a.FirstNs = tr.StartNs
+	}
+	if tr.EndNs > a.LastNs {
+		a.LastNs = tr.EndNs
+	}
+	fs := a.Flows[tr.Flow]
+	if fs == nil {
+		fs = &FlowStat{Flow: tr.Flow, SrcNode: tr.SrcNode, DstNode: tr.DstNode,
+			FirstStartNs: tr.StartNs}
+		a.Flows[tr.Flow] = fs
+	}
+	if tr.StartNs < fs.FirstStartNs {
+		fs.FirstStartNs = tr.StartNs
+	}
+
+	if tr.Disposition == core.DispDropped {
+		a.Dropped++
+		fs.Drops++
+		k := DropKey{Reason: tr.Reason, Node: tr.EndNode, Slice: tr.EndSlice}
+		ds := a.Drops[k]
+		if ds == nil {
+			ds = &DropStat{Key: k, FirstNs: tr.EndNs, ExamplePkt: tr.PktID}
+			a.Drops[k] = ds
+		}
+		ds.Count++
+		ds.Bytes += int64(tr.Size)
+		ds.HopsSeen += len(tr.Hops)
+		if tr.EndNs < ds.FirstNs {
+			ds.FirstNs = tr.EndNs
+		}
+		if tr.EndNs > ds.LastNs {
+			ds.LastNs = tr.EndNs
+		}
+		a.node(tr.EndNode).Drops++
+		return
+	}
+
+	a.Delivered++
+	lat := tr.EndNs - tr.StartNs
+	a.Latency.Add(float64(lat))
+	fs.Pkts++
+	fs.Bytes += int64(tr.Size)
+	fs.SumLatencyNs += lat
+	if lat > fs.MaxLatencyNs {
+		fs.MaxLatencyNs = lat
+	}
+	if tr.EndNs > fs.LastEndNs {
+		fs.LastEndNs = tr.EndNs
+	}
+
+	d, ok := tr.Decompose()
+	if !ok {
+		a.IdentityViolations++
+		return
+	}
+	a.CompTotal.Add(d)
+	fs.Comp.Add(d)
+	a.SliceWait.Add(float64(d.SliceWaitNs))
+	a.Queueing.Add(float64(d.QueueingNs))
+	a.Ser.Add(float64(d.SerializationNs))
+	a.Prop.Add(float64(d.PropagationNs))
+
+	for _, hd := range tr.HopDelays() {
+		h := hd.Hop
+		n := a.node(h.Node)
+		n.Hops++
+		n.SerNs += hd.SerNs
+		if hd.WaitNs > n.MaxWaitNs {
+			n.MaxWaitNs = hd.WaitNs
+		}
+		if h.QueueBytes > n.MaxQueueBytes {
+			n.MaxQueueBytes = h.QueueBytes
+		}
+		if h.Calendar() {
+			n.SliceWaitNs += hd.WaitNs
+			k := SliceKey{Node: h.Node, Slice: h.DepSlice}
+			ss := a.Slices[k]
+			if ss == nil {
+				ss = &SliceStat{Key: k}
+				a.Slices[k] = ss
+			}
+			ss.Hops++
+			ss.SliceWaitNs += hd.WaitNs
+			if hd.WaitNs > ss.MaxWaitNs {
+				ss.MaxWaitNs = hd.WaitNs
+			}
+		} else {
+			n.QueueingNs += hd.WaitNs
+		}
+	}
+}
+
+func (a *Analysis) node(id core.NodeID) *NodeStat {
+	n := a.Nodes[id]
+	if n == nil {
+		n = &NodeStat{Node: id}
+		a.Nodes[id] = n
+	}
+	return n
+}
+
+// Records returns the number of traces observed.
+func (a *Analysis) Records() int { return a.Delivered + a.Dropped }
+
+// SortedFlows returns flows by descending FCT, ties by flow key.
+func (a *Analysis) SortedFlows() []*FlowStat {
+	out := make([]*FlowStat, 0, len(a.Flows))
+	for _, f := range a.Flows {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FCTNs() != out[j].FCTNs() {
+			return out[i].FCTNs() > out[j].FCTNs()
+		}
+		return out[i].Flow < out[j].Flow
+	})
+	return out
+}
+
+// Hotspots returns nodes by descending total dwell, ties by node ID.
+func (a *Analysis) Hotspots() []*NodeStat {
+	out := make([]*NodeStat, 0, len(a.Nodes))
+	for _, n := range a.Nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNs() != out[j].TotalNs() {
+			return out[i].TotalNs() > out[j].TotalNs()
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// SliceHotspots returns node×slice calendar queues by descending
+// slice-wait, ties by (node, slice).
+func (a *Analysis) SliceHotspots() []*SliceStat {
+	out := make([]*SliceStat, 0, len(a.Slices))
+	for _, s := range a.Slices {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SliceWaitNs != out[j].SliceWaitNs {
+			return out[i].SliceWaitNs > out[j].SliceWaitNs
+		}
+		if out[i].Key.Node != out[j].Key.Node {
+			return out[i].Key.Node < out[j].Key.Node
+		}
+		return out[i].Key.Slice < out[j].Key.Slice
+	})
+	return out
+}
+
+// DropGroups returns postmortem groups by descending count, ties by
+// (reason, node, slice).
+func (a *Analysis) DropGroups() []*DropStat {
+	out := make([]*DropStat, 0, len(a.Drops))
+	for _, d := range a.Drops {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		ki, kj := out[i].Key, out[j].Key
+		if ki.Reason != kj.Reason {
+			return ki.Reason < kj.Reason
+		}
+		if ki.Node != kj.Node {
+			return ki.Node < kj.Node
+		}
+		return ki.Slice < kj.Slice
+	})
+	return out
+}
+
+// AnalyzeFile scans a JSONL trace file into a fresh analysis.
+func AnalyzeFile(path string) (*Analysis, error) {
+	a := New()
+	rs, err := ScanFile(path, a.Observe)
+	a.Read.Add(rs)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}

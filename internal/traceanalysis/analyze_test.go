@@ -1,0 +1,181 @@
+package traceanalysis_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"openoptics/internal/core"
+	"openoptics/internal/traceanalysis"
+)
+
+func analyzeGolden(t *testing.T) *traceanalysis.Analysis {
+	t.Helper()
+	a, err := traceanalysis.AnalyzeFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAnalysisAggregatesGolden(t *testing.T) {
+	a := analyzeGolden(t)
+	if a.Read.Corrupt != 0 {
+		t.Fatalf("golden read %+v", a.Read)
+	}
+	if a.Records() != a.Read.Records {
+		t.Fatalf("observed %d records, reader decoded %d", a.Records(), a.Read.Records)
+	}
+	if a.Delivered == 0 || a.Dropped == 0 {
+		t.Fatalf("fixture should cover both dispositions: delivered=%d dropped=%d",
+			a.Delivered, a.Dropped)
+	}
+	if a.IdentityViolations != 0 {
+		t.Fatalf("%d identity violations over the golden fixture", a.IdentityViolations)
+	}
+	// The attribution must explain all delivered latency: component totals
+	// equal the independently summed end-to-end latencies exactly.
+	var sum int64
+	if _, err := traceanalysis.ScanFile(goldenPath, func(tr *core.PktTrace) {
+		if tr.Disposition == core.DispDelivered {
+			sum += tr.EndNs - tr.StartNs
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.CompTotal.TotalNs(); got != sum {
+		t.Fatalf("component total %d != latency sum %d", got, sum)
+	}
+	if a.Latency.Percentile(50) > a.Latency.Percentile(99) {
+		t.Fatal("percentiles not monotone")
+	}
+	// Scenario coverage: the rotor run contributes slice-wait, the
+	// overloaded electrical run contributes queueing and drops.
+	if a.CompTotal.SliceWaitNs == 0 || a.CompTotal.QueueingNs == 0 {
+		t.Fatalf("attribution missing a component: %+v", a.CompTotal)
+	}
+	if len(a.Flows) < 3 {
+		t.Fatalf("flows = %d, want the probe pairs of both scenarios", len(a.Flows))
+	}
+	if a.FirstNs < 0 || a.LastNs <= a.FirstNs {
+		t.Fatalf("bad observed span [%d, %d]", a.FirstNs, a.LastNs)
+	}
+}
+
+func TestFlowFCTAndRanking(t *testing.T) {
+	a := analyzeGolden(t)
+	flows := a.SortedFlows()
+	if len(flows) == 0 {
+		t.Fatal("no flows")
+	}
+	for i := 1; i < len(flows); i++ {
+		if flows[i-1].FCTNs() < flows[i].FCTNs() {
+			t.Fatalf("flows not sorted by FCT: %d before %d",
+				flows[i-1].FCTNs(), flows[i].FCTNs())
+		}
+	}
+	for _, f := range flows {
+		if f.Pkts == 0 {
+			continue
+		}
+		if f.FCTNs() <= 0 {
+			t.Fatalf("flow %s delivered %d pkts with FCT %d", f.Flow, f.Pkts, f.FCTNs())
+		}
+		if f.MaxLatencyNs > f.FCTNs() {
+			t.Fatalf("flow %s max packet latency %d exceeds its FCT %d",
+				f.Flow, f.MaxLatencyNs, f.FCTNs())
+		}
+	}
+}
+
+func TestHotspotRanking(t *testing.T) {
+	a := analyzeGolden(t)
+	hs := a.Hotspots()
+	if len(hs) == 0 {
+		t.Fatal("no node stats")
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i-1].TotalNs() < hs[i].TotalNs() {
+			t.Fatal("hotspots not sorted by total dwell")
+		}
+	}
+	// Per-slice stats exist only for calendar hops, and their slice-wait
+	// must re-sum to the per-node slice-wait.
+	perNode := map[core.NodeID]int64{}
+	for _, s := range a.SliceHotspots() {
+		if s.Key.Slice.IsWildcard() {
+			t.Fatalf("wildcard slice in calendar stats: %+v", s)
+		}
+		perNode[s.Key.Node] += s.SliceWaitNs
+	}
+	for _, n := range hs {
+		if perNode[n.Node] != n.SliceWaitNs {
+			t.Fatalf("node %d slice stats sum to %d, node says %d",
+				n.Node, perNode[n.Node], n.SliceWaitNs)
+		}
+	}
+}
+
+func TestDropPostmortems(t *testing.T) {
+	a := analyzeGolden(t)
+	groups := a.DropGroups()
+	if len(groups) == 0 {
+		t.Fatal("fixture has drops but no postmortem groups")
+	}
+	total := 0
+	for _, g := range groups {
+		total += g.Count
+		if g.Key.Reason == core.DropNone {
+			t.Fatalf("drop group without a reason: %+v", g)
+		}
+		if g.FirstNs > g.LastNs {
+			t.Fatalf("group time bounds inverted: %+v", g)
+		}
+		if g.ExamplePkt == 0 {
+			t.Fatalf("group without an example packet: %+v", g)
+		}
+	}
+	if total != a.Dropped {
+		t.Fatalf("postmortem groups cover %d drops, analysis saw %d", total, a.Dropped)
+	}
+}
+
+// TestAnalysisDeterministic re-analyzes and compares every ranked view —
+// map iteration must never leak into the report order.
+func TestAnalysisDeterministic(t *testing.T) {
+	a, b := analyzeGolden(t), analyzeGolden(t)
+	if !reflect.DeepEqual(a.SortedFlows(), b.SortedFlows()) {
+		t.Fatal("flow ranking differs between runs")
+	}
+	if !reflect.DeepEqual(a.Hotspots(), b.Hotspots()) {
+		t.Fatal("hotspot ranking differs between runs")
+	}
+	if !reflect.DeepEqual(a.SliceHotspots(), b.SliceHotspots()) {
+		t.Fatal("slice ranking differs between runs")
+	}
+	if !reflect.DeepEqual(a.DropGroups(), b.DropGroups()) {
+		t.Fatal("drop grouping differs between runs")
+	}
+}
+
+// TestScanReaderErrors pins Scan's corrupt-line semantics on an in-memory
+// stream (blank lines don't count, interior and trailing damage both do).
+func TestScanReaderErrors(t *testing.T) {
+	in := bytes.NewBufferString(
+		"\n" +
+			`{"pkt_id":1,"flow":"a","src_node":0,"dst_node":1,"size":64,"start_ns":5,"hops":[],"disposition":"delivered","end_node":1,"end_ns":9,"end_slice":-1}` + "\n" +
+			"garbage\n" +
+			`{"pkt_id":2,` + "\n")
+	var got []uint64
+	rs, err := traceanalysis.Scan(in, func(tr *core.PktTrace) { got = append(got, tr.PktID) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := traceanalysis.ReadStats{Lines: 3, Records: 1, Corrupt: 2}
+	if rs != want {
+		t.Fatalf("read stats %+v, want %+v", rs, want)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("decoded %v, want [1]", got)
+	}
+}

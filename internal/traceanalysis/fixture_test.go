@@ -1,0 +1,239 @@
+package traceanalysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/core"
+	"openoptics/internal/traceanalysis"
+	"openoptics/internal/traffic"
+)
+
+// jsonUnmarshalStrict rejects unknown fields — a renamed JSON tag fails
+// the round trip instead of silently zeroing a field.
+func jsonUnmarshalStrict(b []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func jsonMarshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// The golden fixture pins the on-disk JSONL trace schema: it is generated
+// from two deterministic miniature runs (go test ./internal/traceanalysis
+// -run TestGolden -update) and committed, so any accidental change to the
+// trace field set or the stamp semantics shows up as a fixture diff.
+//
+//   - golden.trace.jsonl: a 4-node RotorNet VLB UDP exchange (optical
+//     calendar path: slice-wait dominated) followed by a 4-node electrical
+//     network under ~6x line-rate overload with a 64 KiB switch buffer
+//     (queueing dominated, with buffer-full drop postmortems).
+//   - mangled.trace.jsonl: valid lines from the golden interleaved with a
+//     garbage line, a half-written (truncated) record, and a blank line —
+//     the analyzer-robustness fixture.
+
+var update = flag.Bool("update", false, "regenerate golden fixtures")
+
+const (
+	goldenPath  = "testdata/golden.trace.jsonl"
+	mangledPath = "testdata/mangled.trace.jsonl"
+)
+
+// generateGolden reruns the two fixture scenarios and returns the JSONL.
+func generateGolden(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+
+	// Scenario 1: optical rotor, VLB, light UDP probe traffic.
+	{
+		cfg := openoptics.Config{Node: "rack", NodeNum: 4, Uplink: 1,
+			HostsPerNode: 1, SliceDurationNs: 100_000, Seed: 7}
+		n, err := openoptics.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		circuits, numSlices, err := openoptics.RoundRobin(cfg.NodeNum, cfg.Uplink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.DeployTopo(circuits, numSlices); err != nil {
+			t.Fatal(err)
+		}
+		paths := n.VLB(circuits, numSlices, openoptics.RoutingOptions{})
+		if err := n.DeployRouting(paths, openoptics.LookupHop, openoptics.MultipathPacket); err != nil {
+			t.Fatal(err)
+		}
+		n.Tracer(1).SetSink(&buf)
+		eps := n.Endpoints()
+		probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+		probe.IntervalNs = 100_000
+		probe.Start(int64(3 * time.Millisecond))
+		n.Run(5 * time.Millisecond)
+	}
+
+	// Scenario 2: electrical-only, overloaded — queueing and drops.
+	{
+		cfg := openoptics.Config{NodeNum: 4, Uplink: 1, ElectricalGbps: 1,
+			Seed: 7, BufferBytes: 64 << 10}
+		n, err := openoptics.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths, err := n.ElectricalPaths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.DeployRouting(paths, openoptics.LookupHop, openoptics.MultipathNone); err != nil {
+			t.Fatal(err)
+		}
+		n.Tracer(1).SetSink(&buf)
+		eps := n.Endpoints()
+		probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[2])
+		probe.IntervalNs = 2_000
+		probe.Start(int64(500 * time.Microsecond))
+		n.Run(3 * time.Millisecond)
+	}
+	return buf.Bytes()
+}
+
+// generateMangled damages a copy of the golden: a garbage line after the
+// second record, a blank line, and a truncated final record with no
+// newline (the shape a killed run leaves behind).
+func generateMangled(golden []byte) []byte {
+	lines := bytes.Split(bytes.TrimSpace(golden), []byte("\n"))
+	if len(lines) > 6 {
+		lines = lines[:6]
+	}
+	var out bytes.Buffer
+	for i, ln := range lines {
+		out.Write(ln)
+		out.WriteByte('\n')
+		if i == 1 {
+			out.WriteString("not json {{{ surviving a corrupt line\n\n")
+		}
+	}
+	out.Write(lines[0][:len(lines[0])/2]) // interrupted final write
+	return out.Bytes()
+}
+
+func TestGoldenFixtureUpToDate(t *testing.T) {
+	golden := generateGolden(t)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, golden, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(mangledPath, generateMangled(golden), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fixtures regenerated: %d bytes golden", len(golden))
+		return
+	}
+	disk, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	// Byte equality pins both the schema and simulator determinism: the
+	// same seeds must reproduce the committed trace stream exactly.
+	if !bytes.Equal(disk, golden) {
+		t.Fatalf("golden fixture is stale: committed %d bytes, regenerated %d bytes differ "+
+			"(run go test ./internal/traceanalysis -run TestGolden -update and inspect the diff)",
+			len(disk), len(golden))
+	}
+}
+
+// TestGoldenRoundTrip pins the JSONL schema: every fixture line must
+// decode into core.PktTrace and re-encode to the identical JSON.
+func TestGoldenRoundTrip(t *testing.T) {
+	disk, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var n int
+	for _, line := range bytes.Split(bytes.TrimSpace(disk), []byte("\n")) {
+		var tr core.PktTrace
+		if err := jsonUnmarshalStrict(line, &tr); err != nil {
+			t.Fatalf("fixture line does not decode strictly: %v\n%s", err, line)
+		}
+		re, err := jsonMarshal(&tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bytes.TrimSpace(line), bytes.TrimSpace(re)) {
+			t.Fatalf("round trip changed the record:\n in: %s\nout: %s", line, re)
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("empty fixture")
+	}
+}
+
+// TestGoldenDecompositionIdentity asserts the identity over the committed
+// fixture: every delivered record's components sum exactly to its
+// end-to-end latency.
+func TestGoldenDecompositionIdentity(t *testing.T) {
+	var delivered, withSliceWait, withQueueing int
+	rs, err := traceanalysis.ScanFile(goldenPath, func(tr *core.PktTrace) {
+		if tr.Disposition != core.DispDelivered {
+			return
+		}
+		delivered++
+		d, ok := tr.Decompose()
+		if !ok {
+			t.Fatalf("delivered fixture record does not decompose: %+v", tr)
+		}
+		if d.TotalNs() != tr.EndNs-tr.StartNs {
+			t.Fatalf("identity broken on pkt %d: %+v sums to %d, want %d",
+				tr.PktID, d, d.TotalNs(), tr.EndNs-tr.StartNs)
+		}
+		if d.SliceWaitNs > 0 {
+			withSliceWait++
+		}
+		if d.QueueingNs > 0 {
+			withQueueing++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Corrupt != 0 {
+		t.Fatalf("golden fixture has %d corrupt lines", rs.Corrupt)
+	}
+	if delivered == 0 || withSliceWait == 0 || withQueueing == 0 {
+		t.Fatalf("fixture coverage too thin: delivered=%d sliceWait=%d queueing=%d",
+			delivered, withSliceWait, withQueueing)
+	}
+}
+
+// TestMangledFixtureSkipsAndCounts pins analyzer robustness: damaged lines
+// are counted, the valid records still parse, and analysis carries the
+// corrupt count through to the summary surface.
+func TestMangledFixtureSkipsAndCounts(t *testing.T) {
+	a := traceanalysis.New()
+	rs, err := traceanalysis.ScanFile(mangledPath, a.Observe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Read.Add(rs)
+	if rs.Corrupt != 2 {
+		t.Fatalf("corrupt lines = %d, want 2 (garbage + truncated tail): %+v", rs.Corrupt, rs)
+	}
+	if rs.Records != 6 {
+		t.Fatalf("records = %d, want the 6 intact lines: %+v", rs.Records, rs)
+	}
+	if got := a.Records(); got != 6 {
+		t.Fatalf("analysis observed %d records, want 6", got)
+	}
+	if a.Read.Corrupt != 2 {
+		t.Fatalf("analysis does not surface the corrupt count: %+v", a.Read)
+	}
+}

@@ -1,0 +1,74 @@
+// Package traceanalysis turns the JSONL trace streams written by
+// telemetry.Tracer into answers: where each delivered packet's time went
+// (slice-wait vs queueing vs serialization vs propagation), which flows
+// finished slowly, which node×slice pairs are hotspots, and why packets
+// were dropped. ooctl's `trace` subcommands are a thin shell over this
+// package; it is equally usable programmatically over an OnFinish capture.
+package traceanalysis
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"openoptics/internal/core"
+)
+
+// ReadStats reports what the streaming reader saw. Corrupt counts lines
+// that were present but undecodable — a truncated tail from a killed run,
+// or mid-file damage. Analysis never fails on them; they are skipped and
+// surfaced here (and in `ooctl trace summary`) so silent trace loss is
+// visible, mirroring the sweep ledger's truncated-line tolerance.
+type ReadStats struct {
+	Lines   int `json:"lines"`   // non-empty lines seen
+	Records int `json:"records"` // successfully decoded traces
+	Corrupt int `json:"corrupt"` // skipped lines
+}
+
+// Add accumulates o into s (for multi-file reads).
+func (s *ReadStats) Add(o ReadStats) {
+	s.Lines += o.Lines
+	s.Records += o.Records
+	s.Corrupt += o.Corrupt
+}
+
+// Scan streams trace records from r, invoking fn for each decoded one.
+// The record passed to fn is freshly allocated per line; fn may retain it.
+// Undecodable lines are counted, not fatal: only an I/O error (or a line
+// beyond the 16 MiB scanner limit) aborts the scan.
+func Scan(r io.Reader, fn func(*core.PktTrace)) (ReadStats, error) {
+	var rs ReadStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		rs.Lines++
+		tr := new(core.PktTrace)
+		if err := json.Unmarshal(raw, tr); err != nil {
+			rs.Corrupt++
+			continue
+		}
+		rs.Records++
+		fn(tr)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return rs, fmt.Errorf("traceanalysis: read: %w", err)
+	}
+	return rs, nil
+}
+
+// ScanFile is Scan over a file path.
+func ScanFile(path string, fn func(*core.PktTrace)) (ReadStats, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ReadStats{}, err
+	}
+	defer f.Close()
+	return Scan(f, fn)
+}

@@ -58,10 +58,36 @@ func (n *Net) Metrics() *telemetry.Registry {
 			func() float64 { return float64(st.ReorderEvents) }, host)
 	}
 	n.registerFabrics(reg)
+	n.registerTracer(reg)
 	if n.tracer != nil {
 		n.tracer.ObserveInto(reg)
 	}
 	return reg
+}
+
+// registerTracer exposes trace loss on /metrics. The closures read through
+// n.tracer so the counters survive Tracer() being called after Metrics()
+// (or called again, replacing the tracer) and report 0 with tracing off.
+func (n *Net) registerTracer(reg *telemetry.Registry) {
+	for _, c := range []struct {
+		name, help string
+		read       func(*telemetry.Tracer) uint64
+	}{
+		{"oo_tracer_started_total", "In-band traces attached to sampled packets.",
+			func(t *telemetry.Tracer) uint64 { return t.Started }},
+		{"oo_tracer_finished_total", "In-band traces flushed (delivered + dropped).",
+			func(t *telemetry.Tracer) uint64 { return t.Finished }},
+		{"oo_tracer_sink_errors_total", "Trace JSONL write failures (lost trace records).",
+			func(t *telemetry.Tracer) uint64 { return t.SinkErrs }},
+	} {
+		c := c
+		reg.CounterFunc(c.name, c.help, func() float64 {
+			if n.tracer == nil {
+				return 0
+			}
+			return float64(c.read(n.tracer))
+		})
+	}
 }
 
 func (n *Net) registerEngine(reg *telemetry.Registry) {

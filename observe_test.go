@@ -139,9 +139,9 @@ func TestTraceReconstructsFlowPath(t *testing.T) {
 		if tr.EndNs < prev {
 			t.Fatalf("end %d before last hop %d", tr.EndNs, prev)
 		}
-		// VLB on this 4-node rotor takes at most source + intermediate +
-		// destination ToR decisions.
-		if len(tr.Hops) > 3 {
+		// VLB on this 4-node rotor takes at most the source NIC plus
+		// source + intermediate + destination ToR decisions.
+		if len(tr.Hops) > 4 {
 			t.Fatalf("delivered trace with %d hops on a 4-node VLB net", len(tr.Hops))
 		}
 		if tr.SrcNode == 0 && tr.DstNode == 3 {
@@ -159,24 +159,53 @@ func TestTraceReconstructsFlowPath(t *testing.T) {
 func TestTraceHistogramsFeedRegistry(t *testing.T) {
 	n := rotorNet4(t, nil)
 	reg := n.Metrics()
-	n.Tracer(1) // after Metrics: ObserveInto wires the trace histograms
+	tr := n.Tracer(1) // after Metrics: ObserveInto wires the trace histograms
 	eps := n.Endpoints()
 	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
 	probe.Start(int64(5 * time.Millisecond))
 	n.Run(8 * time.Millisecond)
+	tr.FinalizeFlows() // flush per-flow FCT before export
 
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"oo_trace_latency_ns_bucket", "oo_trace_hops_count"} {
+	for _, want := range []string{
+		"oo_trace_latency_ns_bucket", "oo_trace_hops_count",
+		`oo_trace_component_ns_bucket{component="slice_wait"`,
+		`oo_trace_component_ns_count{component="queueing"`,
+		`oo_trace_component_ns_count{component="serialization"`,
+		`oo_trace_component_ns_count{component="propagation"`,
+		"oo_trace_fct_ns_count",
+	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("%s missing from export", want)
 		}
 	}
 	if strings.Contains(out, "oo_trace_latency_ns_count 0\n") {
 		t.Fatal("trace latency histogram recorded nothing")
+	}
+	if strings.Contains(out, "oo_trace_fct_ns_count 0\n") {
+		t.Fatal("FCT histogram empty after FinalizeFlows")
+	}
+	// Attribution must cover every delivered packet: each component
+	// histogram's count equals the latency histogram's.
+	latMatch := regexp.MustCompile(`(?m)^oo_trace_latency_ns_count (\S+)$`).FindStringSubmatch(out)
+	if latMatch == nil {
+		t.Fatal("no oo_trace_latency_ns_count sample")
+	}
+	for _, c := range []string{"slice_wait", "queueing", "serialization", "propagation"} {
+		re := regexp.MustCompile(`(?m)^oo_trace_component_ns_count\{component="` + c + `"\} (\S+)$`)
+		m := re.FindStringSubmatch(out)
+		if m == nil || m[1] != latMatch[1] {
+			t.Fatalf("component %s count %v, latency histogram count %s", c, m, latMatch[1])
+		}
+	}
+	// FCT: one observation per sampled flow (probe + echo directions).
+	fctMatch := regexp.MustCompile(`(?m)^oo_trace_fct_ns_count (\S+)$`).FindStringSubmatch(out)
+	if fctMatch == nil || fctMatch[1] != "2" {
+		t.Fatalf("FCT observations = %v, want 2; stats %+v", fctMatch, tr.Stats())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"openoptics/internal/core"
 	"openoptics/internal/fabric"
 	"openoptics/internal/switchsim"
+	"openoptics/internal/telemetry"
 )
 
 // NetSnapshot is the network-wide, time-slice-aligned state view the live
@@ -30,6 +31,10 @@ type NetSnapshot struct {
 
 	// Totals is the network-wide switch counter sum.
 	Totals switchsim.Counters `json:"totals"`
+
+	// Trace is the in-band tracer's counters and running latency
+	// attribution; nil when tracing is not attached.
+	Trace *telemetry.TraceStats `json:"trace,omitempty"`
 }
 
 // LinkSnapshot is one optical-fabric link's bandwidth usage, identified by
@@ -83,6 +88,10 @@ func (n *Net) Snapshot() NetSnapshot {
 	if n.elec != nil {
 		es := n.elec.Snapshot()
 		snap.Electrical = &es
+	}
+	if n.tracer != nil {
+		ts := n.tracer.Stats()
+		snap.Trace = &ts
 	}
 	return snap
 }

@@ -1,0 +1,203 @@
+package openoptics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+)
+
+// decodeTraces parses a JSONL trace buffer, failing the test on any bad line.
+func decodeTraces(t *testing.T, buf string) []core.PktTrace {
+	t.Helper()
+	var out []core.PktTrace
+	for _, line := range strings.Split(strings.TrimSpace(buf), "\n") {
+		if line == "" {
+			continue
+		}
+		var p core.PktTrace
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// assertIdentity pins the decomposition identity for one delivered trace:
+// slice-wait + queueing + serialization + propagation == EndNs − StartNs,
+// exactly, with the first hop anchored at the source NIC.
+func assertIdentity(t *testing.T, p *core.PktTrace) core.Decomposition {
+	t.Helper()
+	if len(p.Hops) == 0 {
+		t.Fatalf("delivered trace with no hops: %+v", p)
+	}
+	if p.Hops[0].TimeNs != p.StartNs {
+		t.Fatalf("first hop at %d ns, want the source-NIC hop at StartNs %d: %+v",
+			p.Hops[0].TimeNs, p.StartNs, p)
+	}
+	if p.Hops[0].DeqNs != p.StartNs {
+		t.Fatalf("source-NIC hop waits %d ns; the NIC never queues a popped packet",
+			p.Hops[0].DeqNs-p.StartNs)
+	}
+	d, ok := p.Decompose()
+	if !ok {
+		t.Fatalf("delivered trace does not decompose (missing or unordered stamps): %+v", p)
+	}
+	if got, want := d.TotalNs(), p.EndNs-p.StartNs; got != want {
+		t.Fatalf("decomposition identity broken: components %+v sum to %d, end-to-end is %d: %+v",
+			d, got, want, p)
+	}
+	return d
+}
+
+// TestDecompositionIdentityOptical pins the per-hop latency attribution on
+// the optical calendar path: for every delivered sampled packet of a
+// 4-node RotorNet VLB run, the four components sum exactly to the
+// end-to-end latency, and time waiting for circuits lands in slice-wait.
+func TestDecompositionIdentityOptical(t *testing.T) {
+	n := rotorNet4(t, nil)
+	tr := n.Tracer(1)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	eps := n.Endpoints()
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+	probe.IntervalNs = 100_000
+	probe.Start(int64(5 * time.Millisecond))
+	n.Run(8 * time.Millisecond)
+
+	var total core.Decomposition
+	var delivered int
+	for _, p := range decodeTraces(t, buf.String()) {
+		if p.Disposition != core.DispDelivered {
+			continue
+		}
+		delivered++
+		total.Add(assertIdentity(t, &p))
+	}
+	if delivered == 0 {
+		t.Fatal("no delivered traces")
+	}
+	if total.SliceWaitNs == 0 {
+		t.Fatal("VLB over a rotor never waited for a slice; calendar hops are not classified")
+	}
+	st := tr.Stats()
+	if st.IdentityViolations != 0 {
+		t.Fatalf("tracer recorded %d identity violations", st.IdentityViolations)
+	}
+	if st.Comp.TotalNs() != st.DeliveredLatencyNs {
+		t.Fatalf("tracer attribution totals %d != delivered latency %d",
+			st.Comp.TotalNs(), st.DeliveredLatencyNs)
+	}
+	if st.Delivered != uint64(delivered) {
+		t.Fatalf("tracer counted %d delivered, JSONL has %d", st.Delivered, delivered)
+	}
+}
+
+// TestDecompositionIdentityElectrical pins the identity on the packet-
+// switched path: every delivered trace of an electrical-only TCP transfer
+// crosses the fabric (a Node == NoNode hop), decomposes exactly, and
+// attributes zero slice-wait (there is no calendar anywhere).
+func TestDecompositionIdentityElectrical(t *testing.T) {
+	cfg := Config{NodeNum: 4, Uplink: 1, ElectricalGbps: 100, Seed: 7}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := n.ElectricalPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeployRouting(paths, LookupHop, MultipathNone); err != nil {
+		t.Fatal(err)
+	}
+	tr := n.Tracer(1)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	eps := n.Endpoints()
+	flow := core.FlowKey{SrcHost: eps[0].Host, DstHost: eps[2].Host,
+		SrcPort: 9, DstPort: traffic.PortReplay, Proto: core.ProtoTCP}
+	eps[0].Stack.OpenTCP(flow, eps[0].Node, eps[2].Node, 500_000)
+	n.Run(40 * time.Millisecond)
+
+	var total core.Decomposition
+	var delivered, crossedFabric int
+	for _, p := range decodeTraces(t, buf.String()) {
+		if p.Disposition != core.DispDelivered {
+			continue
+		}
+		delivered++
+		for _, h := range p.Hops {
+			if h.Node == core.NoNode {
+				if h.Calendar() {
+					t.Fatalf("fabric hop classified as calendar: %+v", h)
+				}
+				crossedFabric++
+				break
+			}
+		}
+		total.Add(assertIdentity(t, &p))
+	}
+	if delivered == 0 || crossedFabric == 0 {
+		t.Fatalf("want delivered traces crossing the electrical fabric, got %d/%d",
+			crossedFabric, delivered)
+	}
+	if total.SliceWaitNs != 0 {
+		t.Fatalf("electrical-only network attributed %d ns to slice-wait", total.SliceWaitNs)
+	}
+	if st := tr.Stats(); st.IdentityViolations != 0 {
+		t.Fatalf("tracer recorded %d identity violations", st.IdentityViolations)
+	}
+}
+
+// TestTracerCountersOnMetrics pins the trace-loss satellite: Started,
+// Finished, and SinkErrs are visible on the registry, track the tracer,
+// and read 0 (not absent) when tracing is off.
+func TestTracerCountersOnMetrics(t *testing.T) {
+	n := rotorNet4(t, nil)
+	reg := n.Metrics() // registered before the tracer exists
+	for _, name := range []string{
+		"oo_tracer_started_total", "oo_tracer_finished_total", "oo_tracer_sink_errors_total",
+	} {
+		if v, ok := reg.Value(name); !ok || v != 0 {
+			t.Fatalf("%s = %v,%v before tracing; want 0,true", name, v, ok)
+		}
+	}
+	tr := n.Tracer(1)
+	tr.SetSink(failWriter{})
+	eps := n.Endpoints()
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+	probe.IntervalNs = 100_000
+	probe.Start(int64(2 * time.Millisecond))
+	n.Run(5 * time.Millisecond)
+
+	if v, _ := reg.Value("oo_tracer_started_total"); v != float64(tr.Started) || v == 0 {
+		t.Fatalf("oo_tracer_started_total = %v, tracer says %d", v, tr.Started)
+	}
+	if v, _ := reg.Value("oo_tracer_finished_total"); v != float64(tr.Finished) || v == 0 {
+		t.Fatalf("oo_tracer_finished_total = %v, tracer says %d", v, tr.Finished)
+	}
+	if v, _ := reg.Value("oo_tracer_sink_errors_total"); v != float64(tr.SinkErrs) || v == 0 {
+		t.Fatalf("oo_tracer_sink_errors_total = %v, tracer says %d (failing sink must count)",
+			v, tr.SinkErrs)
+	}
+	snap := n.Snapshot()
+	if snap.Trace == nil || snap.Trace.SinkErrs != tr.SinkErrs {
+		t.Fatalf("snapshot trace stats = %+v, want SinkErrs %d", snap.Trace, tr.SinkErrs)
+	}
+}
+
+// failWriter makes every JSONL flush fail, driving SinkErrs.
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errWrite }
+
+var errWrite = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink closed" }
