@@ -1,5 +1,5 @@
 # Tier-1: what every change must keep green.
-.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke trace-smoke
+.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke trace-smoke regress-smoke
 
 build:
 	go build ./...
@@ -45,3 +45,10 @@ obsv-smoke:
 # corrupt-line tolerance surfaced. CI runs this.
 trace-smoke:
 	bash scripts/trace_smoke.sh
+
+# Regression-gate smoke: replay the committed baseline sweep, `ooctl
+# regress` passes the equal run and catches the injected-5%-latency fixture
+# (exit 3), reports are byte-deterministic, provenance reaches every
+# artifact, -version answers on all four CLIs. CI runs this.
+regress-smoke:
+	bash scripts/regress_smoke.sh

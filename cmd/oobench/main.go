@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +26,12 @@ import (
 	"openoptics"
 
 	"openoptics/experiments"
+	"openoptics/internal/compare"
 	"openoptics/internal/obsv"
+	"openoptics/internal/provenance"
 	"openoptics/internal/runner"
 	"openoptics/internal/sim"
+	"openoptics/internal/telemetry"
 )
 
 type experiment struct {
@@ -87,7 +91,17 @@ func run() (code int) {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (pprof) to this file at exit")
 	httpAddr := flag.String("http", "", "serve live observability for the currently running network on this address")
+	jsonOut := flag.String("json", "", "write a machine-readable benchmark report (per-experiment wall time + allocator deltas) to this file")
+	reps := flag.Int("reps", 1, "repetitions per experiment for -json (>= 2 enables significance testing in ooctl compare)")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(provenance.VersionString("oobench"))
+		return 0
+	}
+	if *reps < 1 {
+		*reps = 1
+	}
 
 	// Graceful shutdown: every network an experiment builds registers its
 	// engine here (via the Observe hook below); the first SIGINT/SIGTERM
@@ -168,6 +182,14 @@ func run() (code int) {
 		}()
 	}
 
+	// Run provenance, captured once up front: the digest covers the
+	// resolved benchmark parameters, so two reports compare exactly when
+	// they benchmarked the same configuration.
+	manifest := provenance.New(provenance.MustDigest(map[string]any{
+		"tool": "oobench", "exp": *exp, "quick": *quick,
+		"nodes": *nodes, "duration_ms": *durMs, "reps": *reps,
+	}), *seed)
+
 	// Experiments build their networks internally; the openoptics.Observe
 	// hook attaches telemetry to each one as it is constructed.
 	var lastNet *openoptics.Net
@@ -180,6 +202,13 @@ func run() (code int) {
 		}
 		traceW = bufio.NewWriter(f)
 		defer func() { traceW.Flush(); f.Close() }()
+		// All networks share this sink; the provenance header leads it once.
+		if err := json.NewEncoder(traceW).Encode(telemetry.TraceHeader{
+			Kind: "header", SchemaVersion: provenance.SchemaVersion, Manifest: &manifest,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "oobench:", err)
+			return 1
+		}
 	}
 	var srv *obsv.Server
 	if *httpAddr != "" {
@@ -191,12 +220,16 @@ func run() (code int) {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "oobench: live observability on http://%s\n", addr)
+		if b, err := json.Marshal(manifest); err == nil {
+			srv.RunInfo().Set(b)
+		}
 	}
 	openoptics.Observe = func(n *openoptics.Net) {
 		track(n)
 		lastNet = n
 		if *metricsOut != "" {
-			n.Metrics() // build before traffic so per-slice counters record
+			// Build before traffic so per-slice counters record.
+			n.Metrics().SetManifest(&manifest)
 		}
 		if traceW != nil {
 			n.Tracer(*traceSample).SetSink(traceW)
@@ -257,9 +290,10 @@ func run() (code int) {
 	}
 	// Telemetry sinks (the Observe hook, trace writer, metrics registry,
 	// live server) are process-global, so parallel drivers would race on
-	// them.
-	if *jobs > 1 && (*metricsOut != "" || traceW != nil || srv != nil) {
-		fmt.Fprintln(os.Stderr, "oobench: -metrics-out/-trace-out/-http are process-global; clamping -jobs to 1")
+	// them — and -json wall-clock timings would measure contention, not
+	// the experiment.
+	if *jobs > 1 && (*metricsOut != "" || traceW != nil || srv != nil || *jsonOut != "") {
+		fmt.Fprintln(os.Stderr, "oobench: -metrics-out/-trace-out/-http/-json are process-global; clamping -jobs to 1")
 		*jobs = 1
 	}
 	if len(todo) > 1 && *jobs > 1 {
@@ -269,17 +303,50 @@ func run() (code int) {
 		}
 		return code
 	}
+	report := &compare.BenchReport{SchemaVersion: provenance.SchemaVersion, Manifest: &manifest}
 	failed := 0
 	for _, id := range todo {
 		r := ids[id]
-		start := time.Now()
-		res, err := r.run(p)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "oobench: %s failed: %v\n", id, err)
-			failed++
-			continue
+		br := compare.BenchResult{Name: id, Reps: *reps}
+		ok := true
+		for rep := 0; rep < *reps; rep++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			res, err := r.run(p)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "oobench: %s failed: %v\n", id, err)
+				failed++
+				ok = false
+				break
+			}
+			br.WallNs = append(br.WallNs, float64(wall.Nanoseconds()))
+			br.AllocBytes = append(br.AllocBytes, float64(m1.TotalAlloc-m0.TotalAlloc))
+			br.Allocs = append(br.Allocs, float64(m1.Mallocs-m0.Mallocs))
+			if rep == *reps-1 {
+				fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", id, r.desc, wall.Seconds(), res)
+			}
+			if wasInterrupted() {
+				break
+			}
 		}
-		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", id, r.desc, time.Since(start).Seconds(), res)
+		if ok && len(br.WallNs) > 0 {
+			br.Reps = len(br.WallNs)
+			report.Results = append(report.Results, br)
+		}
+		if wasInterrupted() {
+			break
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeBenchReport(*jsonOut, report); err != nil {
+			fmt.Fprintln(os.Stderr, "oobench:", err)
+			if failed == 0 {
+				failed = 1
+			}
+		}
 	}
 	if wasInterrupted() {
 		fmt.Fprintln(os.Stderr, "oobench: run interrupted; partial results above")
@@ -289,6 +356,21 @@ func run() (code int) {
 		return 1
 	}
 	return 0
+}
+
+// writeBenchReport renders the machine-readable benchmark report.
+func writeBenchReport(path string, r *compare.BenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runParallel routes the experiment drivers through the sweep subsystem's

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"openoptics/internal/compare"
+)
+
+// exitRegression is the exit code for a detected regression, distinct from
+// usage errors (2) and operational failures (1) so CI can tell "the gate
+// fired" from "the gate broke".
+const exitRegression = 3
+
+// runCompare implements `ooctl compare [flags] <before> <after>`: load two
+// run artifacts, align scenarios by provenance config digest, and test every
+// shared metric for statistically significant change. With failOnRegress
+// (the `ooctl regress` path) a detected regression exits 3.
+func runCompare(args []string, failOnRegress bool) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	jsonOut := fs.String("json", "", "also write the machine-readable report to this file")
+	alpha := fs.Float64("alpha", 0.05, "significance level for the Mann-Whitney U test")
+	minEffect := fs.Float64("min-effect", 0.01, "minimum relative mean shift to count as a regression/improvement")
+	iters := fs.Int("bootstrap-iters", 2000, "bootstrap resamples for confidence intervals")
+	conf := fs.Float64("conf", 0.95, "confidence level for bootstrap intervals")
+	ignoreDigest := fs.Bool("ignore-digest", false, "compare scenarios even when their config digests disagree")
+	failFlag := fs.Bool("fail-on-regress", failOnRegress, "exit 3 when any regression is detected")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ooctl compare [flags] <before> <after>")
+		fmt.Fprintln(os.Stderr, "  before/after: sweep summary.json, ledger.jsonl, oobench -json report, or a directory holding one")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	return doCompare(fs.Arg(0), fs.Arg(1), compare.Options{
+		Alpha: *alpha, MinEffect: *minEffect,
+		BootstrapIters: *iters, Conf: *conf, IgnoreDigest: *ignoreDigest,
+	}, *jsonOut, *failFlag)
+}
+
+// runRegress implements `ooctl regress -baseline BASE <candidate>`: compare
+// against a committed baseline with fail-on-regress semantics. It is
+// `ooctl compare -fail-on-regress <baseline> <candidate>` spelled for CI.
+func runRegress(args []string) int {
+	fs := flag.NewFlagSet("regress", flag.ExitOnError)
+	baseline := fs.String("baseline", "", "baseline artifact the candidate must not regress against (required)")
+	jsonOut := fs.String("json", "", "also write the machine-readable report to this file")
+	alpha := fs.Float64("alpha", 0.05, "significance level for the Mann-Whitney U test")
+	minEffect := fs.Float64("min-effect", 0.01, "minimum relative mean shift to count as a regression")
+	iters := fs.Int("bootstrap-iters", 2000, "bootstrap resamples for confidence intervals")
+	conf := fs.Float64("conf", 0.95, "confidence level for bootstrap intervals")
+	ignoreDigest := fs.Bool("ignore-digest", false, "compare scenarios even when their config digests disagree")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ooctl regress -baseline BASELINE [flags] <candidate>")
+		fmt.Fprintln(os.Stderr, "  exits 3 when the candidate regresses against the baseline")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if *baseline == "" || fs.NArg() != 1 {
+		fs.Usage()
+		return 2
+	}
+	return doCompare(*baseline, fs.Arg(0), compare.Options{
+		Alpha: *alpha, MinEffect: *minEffect,
+		BootstrapIters: *iters, Conf: *conf, IgnoreDigest: *ignoreDigest,
+	}, *jsonOut, true)
+}
+
+func doCompare(beforePath, afterPath string, opt compare.Options, jsonOut string, failOnRegress bool) int {
+	before, err := compare.LoadRun(beforePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooctl:", err)
+		return 1
+	}
+	after, err := compare.LoadRun(afterPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooctl:", err)
+		return 1
+	}
+	rep, err := compare.Compare(before, after, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ooctl:", err)
+		return 1
+	}
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ooctl:", err)
+		return 1
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ooctl:", err)
+			return 1
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "ooctl:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ooctl:", err)
+			return 1
+		}
+	}
+	if failOnRegress && rep.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "ooctl: %d regression(s) detected\n", rep.Regressions)
+		return exitRegression
+	}
+	return 0
+}

@@ -11,6 +11,13 @@
 // the JSONL written by oosim -trace-out and reports where packet time
 // went, with a Perfetto-compatible export (trace.go).
 //
+// It also fronts cross-run differential analytics: `ooctl compare` loads
+// two runs' artifacts (sweep summaries, ledgers, or oobench -json reports),
+// aligns scenarios by provenance config digest, and tests every shared
+// metric for statistically significant change; `ooctl regress` is the CI
+// entry point, exiting 3 when a candidate regresses against a committed
+// baseline (compare.go).
+//
 // Usage:
 //
 //	ooctl -n 8 -uplink 2 -topo roundrobin -routing vlb -lookup hop
@@ -19,6 +26,8 @@
 //	ooctl watch -once localhost:8080
 //	ooctl trace summary run.trace.jsonl
 //	ooctl trace export -o run.perfetto.json run.trace.jsonl
+//	ooctl compare before/summary.json after/summary.json
+//	ooctl regress -baseline testdata/baselines/regress_base.summary.json run/summary.json
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 
 	"openoptics/internal/controller"
 	"openoptics/internal/core"
+	"openoptics/internal/provenance"
 	"openoptics/internal/routing"
 	"openoptics/internal/topo"
 )
@@ -39,6 +49,16 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "trace" {
 		os.Exit(runTrace(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], false))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "regress" {
+		os.Exit(runRegress(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && (os.Args[1] == "-version" || os.Args[1] == "--version" || os.Args[1] == "version") {
+		fmt.Println(provenance.VersionString("ooctl"))
+		os.Exit(0)
 	}
 	n := flag.Int("n", 8, "endpoint-node count")
 	uplink := flag.Int("uplink", 1, "optical uplinks per node")

@@ -152,6 +152,13 @@ func pct(part, whole int64) float64 {
 
 func renderSummary(w io.Writer, path string, a *traceanalysis.Analysis) {
 	fmt.Fprintf(w, "trace: %s\n", path)
+	if h := a.Read.Header; h != nil {
+		fmt.Fprintf(w, "provenance: schema v%d", h.SchemaVersion)
+		if d := h.ConfigDigest(); d != "" {
+			fmt.Fprintf(w, ", config %s", d)
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintf(w, "records: %d (delivered %d, dropped %d)", a.Records(), a.Delivered, a.Dropped)
 	if a.Read.Corrupt > 0 {
 		fmt.Fprintf(w, ", corrupt lines skipped: %d", a.Read.Corrupt)

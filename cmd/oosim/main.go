@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +24,7 @@ import (
 	"openoptics"
 	"openoptics/internal/arch"
 	"openoptics/internal/obsv"
+	"openoptics/internal/provenance"
 	"openoptics/internal/sim"
 	"openoptics/internal/telemetry"
 	"openoptics/internal/traffic"
@@ -56,7 +58,12 @@ func run() int {
 	flightCongest := flag.Uint64("flight-congest", 200, "dump on this many congestion hits per slice sustained (0 disables)")
 	flightCongestSlices := flag.Int("flight-congest-slices", 8, "slices of sustained congestion before dumping")
 	flightEQO := flag.Int64("flight-eqo", 0, "dump when EQO error reaches this many bytes (0 disables)")
+	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(provenance.VersionString("oosim"))
+		return 0
+	}
 
 	o := arch.Options{
 		Nodes:           *nodes,
@@ -87,6 +94,16 @@ func run() int {
 		return fail(err)
 	}
 
+	// Run provenance, captured once up front (never in the simulation hot
+	// path): the config digest covers every resolved run parameter, so two
+	// runs share a digest exactly when they simulate the same thing.
+	manifest := provenance.New(provenance.MustDigest(map[string]any{
+		"tool": "oosim", "arch": *archName, "workload": *workload,
+		"nodes": o.Nodes, "uplink": o.Uplink, "hosts_per_node": o.HostsPerNode,
+		"slice_duration_ns": o.SliceDurationNs, "duration_ms": *durMs,
+		"load": *load, "config": *cfgPath,
+	}), o.Seed)
+
 	dur := time.Duration(*durMs) * time.Millisecond
 	eps := in.Net.Endpoints()
 	sink := traffic.NewSink(eps)
@@ -109,7 +126,7 @@ func run() int {
 	// Telemetry wiring. The registry is built before traffic so per-slice
 	// drop counters record from the first packet.
 	if *metricsOut != "" || *httpAddr != "" {
-		in.Net.Metrics()
+		in.Net.Metrics().SetManifest(&manifest)
 	}
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
@@ -121,6 +138,7 @@ func run() int {
 		defer func() { w.Flush(); f.Close() }()
 		tracer = in.Net.Tracer(*traceSample)
 		tracer.SetSink(w)
+		tracer.WriteHeader(&manifest)
 	}
 	var srv *obsv.Server
 	if *httpAddr != "" {
@@ -131,6 +149,9 @@ func run() int {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "oosim: live observability on http://%s\n", addr)
+		if b, err := json.Marshal(manifest); err == nil {
+			srv.RunInfo().Set(b)
+		}
 		in.Net.AttachLive(srv, time.Duration(*httpIntervalUs)*time.Microsecond)
 	}
 	if *flightOut != "" {
@@ -146,6 +167,8 @@ func run() int {
 			CongestSlices: *flightCongestSlices,
 			EQOErrBytes:   *flightEQO,
 		}, w)
+		rec.SchemaVersion = provenance.SchemaVersion
+		rec.Manifest = &manifest
 		rec.OnDump = func(reason string) {
 			fmt.Fprintln(os.Stderr, "oosim: flight dump:", reason)
 		}

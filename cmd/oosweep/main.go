@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"openoptics/internal/obsv"
+	"openoptics/internal/provenance"
 	"openoptics/internal/runner"
 )
 
@@ -40,6 +41,7 @@ func usage() int {
 	fmt.Fprintln(os.Stderr, "  resume    -spec FILE -out DIR [-jobs N] ...   (run with -resume implied)")
 	fmt.Fprintln(os.Stderr, "  list      -spec FILE")
 	fmt.Fprintln(os.Stderr, "  aggregate -out DIR")
+	fmt.Fprintln(os.Stderr, "  -version  print build provenance and exit")
 	return 2
 }
 
@@ -57,6 +59,9 @@ func run(args []string) int {
 		return runList(rest)
 	case "aggregate":
 		return runAggregate(rest)
+	case "-version", "--version", "version":
+		fmt.Println(provenance.VersionString("oosweep"))
+		return 0
 	case "-h", "-help", "--help", "help":
 		usage()
 		return 0
@@ -153,6 +158,11 @@ func runSweep(args []string, resume bool) int {
 	}()
 	opt.Stop = stop
 
+	// One manifest per sweep, captured here so the ledger header, the
+	// summaries, and the live /runinfo endpoint all carry the same one.
+	manifest := provenance.New(spec.ConfigDigest(), spec.MasterSeed())
+	opt.Manifest = &manifest
+
 	if *httpAddr != "" {
 		srv := obsv.NewServer()
 		addr, err := srv.Start(*httpAddr)
@@ -162,6 +172,9 @@ func runSweep(args []string, resume bool) int {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "oosweep: live progress on http://%s/progress\n", addr)
+		if b, err := json.Marshal(manifest); err == nil {
+			srv.RunInfo().Set(b)
+		}
 		progressEP := srv.Progress()
 		opt.OnProgress = func(p runner.SweepProgress) {
 			if b, err := json.Marshal(p); err == nil {
@@ -225,14 +238,16 @@ func runAggregate(args []string) int {
 	return aggregate(*name, filepath.Join(*out, "ledger.jsonl"), *out)
 }
 
-// aggregate rebuilds summary.csv and summary.json from the ledger.
+// aggregate rebuilds summary.csv and summary.json from the ledger, carrying
+// the ledger's provenance header into the JSON summary.
 func aggregate(name, ledgerPath, out string) int {
-	recs, err := runner.ReadLedger(ledgerPath)
+	recs, hdr, err := runner.ReadLedgerFull(ledgerPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oosweep:", err)
 		return 1
 	}
 	agg := runner.NewAggregate(name, recs)
+	agg.Stamp(hdr)
 	if err := writeTo(filepath.Join(out, "summary.csv"), agg.WriteCSV); err != nil {
 		fmt.Fprintln(os.Stderr, "oosweep:", err)
 		return 1

@@ -1,0 +1,28 @@
+package compare
+
+// BenchReport is oobench's machine-readable output (-json): one entry per
+// executed experiment with per-repetition wall time and allocator deltas.
+// It lives here — not in cmd/oobench — because it is the interchange format
+// between the benchmark writer and the compare reader.
+type BenchReport struct {
+	SchemaVersion int `json:"schema_version"`
+	// Manifest is the run's provenance manifest (config digest over the
+	// resolved benchmark parameters, seed, build info).
+	Manifest any           `json:"manifest,omitempty"`
+	Results  []BenchResult `json:"results"`
+}
+
+// BenchResult is one experiment's measurement. WallNs/AllocBytes/Allocs are
+// parallel per-repetition arrays: with -reps > 1 they are real samples and
+// compare runs the same significance tests as for sweep replications; with
+// a single rep compare falls back to threshold-only deltas.
+type BenchResult struct {
+	Name string `json:"name"`
+	Reps int    `json:"reps"`
+	// WallNs is the wall-clock duration of each repetition.
+	WallNs []float64 `json:"wall_ns"`
+	// AllocBytes and Allocs are runtime.MemStats deltas (TotalAlloc,
+	// Mallocs) over each repetition — cumulative totals, not live heap.
+	AllocBytes []float64 `json:"alloc_bytes"`
+	Allocs     []float64 `json:"allocs"`
+}

@@ -1,0 +1,288 @@
+package compare
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"openoptics/internal/runner"
+)
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5}
+	if _, p := MannWhitney(x, x); p != 1 {
+		t.Fatalf("all-tied samples: p = %g, want 1", p)
+	}
+	// Same distribution, different draws: must not be significant.
+	a := []float64{10, 11, 12, 13, 14, 15}
+	b := []float64{10.5, 11.5, 12.5, 13.5, 14.5, 9.5}
+	if _, p := MannWhitney(a, b); p < 0.05 {
+		t.Fatalf("interleaved samples: p = %g, want >= 0.05", p)
+	}
+}
+
+func TestMannWhitneyShiftDetected(t *testing.T) {
+	x := []float64{100, 101, 102, 103, 104, 105, 106, 107}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = v * 1.5 // a 50% shift with disjoint ranges
+	}
+	if _, p := MannWhitney(x, y); p >= 0.05 {
+		t.Fatalf("disjoint shifted samples: p = %g, want < 0.05", p)
+	}
+}
+
+func TestMannWhitneyDegenerate(t *testing.T) {
+	if _, p := MannWhitney(nil, []float64{1}); p != 1 {
+		t.Fatalf("empty sample: p = %g, want 1", p)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	x := []float64{10, 11, 12, 13, 14}
+	y := []float64{20, 21, 22, 23, 24}
+	lo, hi := BootstrapMeanDiffCI(x, y, 1000, 0.95)
+	if lo > hi {
+		t.Fatalf("inverted CI [%g, %g]", lo, hi)
+	}
+	if lo <= 0 {
+		t.Fatalf("CI lower bound %g should exclude 0 for a 10-unit shift", lo)
+	}
+	if hi < 8 || hi > 13 {
+		t.Fatalf("CI upper bound %g implausible for a true diff of 10", hi)
+	}
+	// Determinism: identical inputs, identical interval.
+	lo2, hi2 := BootstrapMeanDiffCI(x, y, 1000, 0.95)
+	if lo != lo2 || hi != hi2 {
+		t.Fatalf("bootstrap not deterministic: [%g,%g] vs [%g,%g]", lo, hi, lo2, hi2)
+	}
+}
+
+// reps builds synthetic replications with the given p50 values (other
+// metrics derive from them so every FCT field carries the same shift).
+func reps(p50s ...float64) []runner.RepMetrics {
+	out := make([]runner.RepMetrics, len(p50s))
+	for i, v := range p50s {
+		out[i] = runner.RepMetrics{
+			Rep: i, Seed: uint64(i + 1), Flows: 100, Events: 1000,
+			FCTMeanNs: v * 1.1, FCTP50Ns: v, FCTP95Ns: v * 2,
+			FCTP99Ns: v * 3, FCTMaxNs: v * 4,
+		}
+	}
+	return out
+}
+
+func scenarios(digest string, rs []runner.RepMetrics) []runner.ScenarioStats {
+	return []runner.ScenarioStats{{
+		Scenario: "rotornet-vlb/n8/rpc/l0.30", ConfigDigest: digest,
+		Jobs: len(rs), OK: len(rs), Reps: rs,
+	}}
+}
+
+func TestCompareIdenticalRunsNoRegression(t *testing.T) {
+	base := reps(100, 102, 98, 101, 99, 103, 97, 100)
+	before := &Run{Path: "a", Kind: KindSweep, ConfigDigest: "sha256:x", Scenarios: scenarios("sha256:s", base)}
+	after := &Run{Path: "b", Kind: KindSweep, ConfigDigest: "sha256:x", Scenarios: scenarios("sha256:s", base)}
+	rep, err := Compare(before, after, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 || rep.Improvements != 0 {
+		t.Fatalf("identical runs: regressions=%d improvements=%d, want 0/0", rep.Regressions, rep.Improvements)
+	}
+	if rep.Aligned != 1 {
+		t.Fatalf("aligned = %d, want 1", rep.Aligned)
+	}
+	for _, md := range rep.Scenarios[0].Metrics {
+		if md.Significant {
+			t.Fatalf("metric %s significant on identical runs (p=%g)", md.Metric, md.P)
+		}
+	}
+}
+
+func TestCompareShiftDetected(t *testing.T) {
+	base := reps(100, 102, 98, 101, 99, 103, 97, 100)
+	shifted := reps(150, 153, 147, 151.5, 148.5, 154.5, 145.5, 150) // +50%
+	before := &Run{Path: "a", Kind: KindSweep, Scenarios: scenarios("sha256:s", base)}
+	after := &Run{Path: "b", Kind: KindSweep, Scenarios: scenarios("sha256:s", shifted)}
+	rep, err := Compare(before, after, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions == 0 {
+		t.Fatal("a 50% FCT shift across 8 replications must register as a regression")
+	}
+	var p50 *MetricDelta
+	for i := range rep.Scenarios[0].Metrics {
+		if rep.Scenarios[0].Metrics[i].Metric == "fct_p50_ns" {
+			p50 = &rep.Scenarios[0].Metrics[i]
+		}
+	}
+	if p50 == nil {
+		t.Fatal("fct_p50_ns not compared")
+	}
+	if !p50.Regression || !p50.Significant {
+		t.Fatalf("fct_p50_ns: %+v, want significant regression", *p50)
+	}
+	if math.Abs(p50.DeltaPct-50) > 1 {
+		t.Fatalf("fct_p50_ns delta %.2f%%, want ~50%%", p50.DeltaPct)
+	}
+	if p50.CILoPct <= 0 {
+		t.Fatalf("CI lower bound %g%% should exclude 0", p50.CILoPct)
+	}
+}
+
+func TestCompareImprovementIsNotRegression(t *testing.T) {
+	base := reps(150, 153, 147, 151.5, 148.5, 154.5, 145.5, 150)
+	faster := reps(100, 102, 98, 101, 99, 103, 97, 100)
+	rep, err := Compare(
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:s", base)},
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:s", faster)},
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("a speedup reported %d regressions", rep.Regressions)
+	}
+	if rep.Improvements == 0 {
+		t.Fatal("a 33% speedup across 8 replications must register as an improvement")
+	}
+}
+
+func TestCompareDigestMismatchSkipped(t *testing.T) {
+	base := reps(100, 101, 99)
+	rep, err := Compare(
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:aaa", base)},
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:bbb", base)},
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aligned != 0 {
+		t.Fatalf("digest mismatch: aligned = %d, want 0", rep.Aligned)
+	}
+	if len(rep.Warnings) == 0 {
+		t.Fatal("digest mismatch must warn")
+	}
+	if len(rep.Scenarios[0].Metrics) != 0 {
+		t.Fatal("digest mismatch must skip metric comparison")
+	}
+	// IgnoreDigest forces the comparison through.
+	rep, err = Compare(
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:aaa", base)},
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:bbb", base)},
+		Options{IgnoreDigest: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aligned != 1 || len(rep.Scenarios[0].Metrics) == 0 {
+		t.Fatal("IgnoreDigest must compare anyway")
+	}
+}
+
+func TestCompareKindMismatch(t *testing.T) {
+	_, err := Compare(&Run{Kind: KindSweep}, &Run{Kind: KindBench}, Options{})
+	if err == nil {
+		t.Fatal("sweep-vs-bench comparison must error")
+	}
+}
+
+func TestCompareNeutralMetricsNeverRegress(t *testing.T) {
+	base := reps(100, 102, 98, 101)
+	more := reps(100, 102, 98, 101)
+	for i := range more {
+		more[i].Flows = 500 // big, consistent shift in a neutral metric
+		more[i].Events = 5000
+	}
+	rep, err := Compare(
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:s", base)},
+		&Run{Kind: KindSweep, Scenarios: scenarios("sha256:s", more)},
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 {
+		t.Fatalf("neutral metric shift reported %d regressions", rep.Regressions)
+	}
+}
+
+func TestCompareDeterministicBytes(t *testing.T) {
+	base := reps(100, 102, 98, 101, 99, 103, 97, 100)
+	shifted := reps(105, 107.1, 102.9, 106.05, 103.95, 108.15, 101.85, 105)
+	render := func() []byte {
+		rep, err := Compare(
+			&Run{Path: "a", Kind: KindSweep, Scenarios: scenarios("sha256:s", base)},
+			&Run{Path: "b", Kind: KindSweep, Scenarios: scenarios("sha256:s", shifted)},
+			Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("compare report is not byte-deterministic")
+	}
+}
+
+func TestCompareBench(t *testing.T) {
+	mk := func(scale float64) *Run {
+		wall := make([]float64, 6)
+		for i := range wall {
+			wall[i] = scale * (1e9 + float64(i)*1e6)
+		}
+		return &Run{Kind: KindBench, Bench: &BenchReport{Results: []BenchResult{{
+			Name: "fig8", Reps: 6, WallNs: wall,
+			AllocBytes: []float64{1e6 * scale}, Allocs: []float64{1000 * scale},
+		}}}}
+	}
+	rep, err := Compare(mk(1), mk(1.5), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions == 0 {
+		t.Fatal("a 50% wall-time regression must be flagged")
+	}
+	var wall, allocs *MetricDelta
+	for i := range rep.Scenarios[0].Metrics {
+		md := &rep.Scenarios[0].Metrics[i]
+		switch md.Metric {
+		case "wall_ns":
+			wall = md
+		case "allocs":
+			allocs = md
+		}
+	}
+	if wall == nil || wall.Method != "mann_whitney" || !wall.Regression {
+		t.Fatalf("wall_ns: %+v, want mann_whitney regression", wall)
+	}
+	if allocs == nil || allocs.Method != "delta" || !allocs.Regression {
+		t.Fatalf("allocs (n=1): %+v, want threshold-delta regression", allocs)
+	}
+}
+
+func TestWriteTableRenders(t *testing.T) {
+	base := reps(100, 102, 98, 101)
+	rep, err := Compare(
+		&Run{Path: "a", Kind: KindSweep, ConfigDigest: "sha256:abcdef0123456789", Scenarios: scenarios("sha256:s", base)},
+		&Run{Path: "b", Kind: KindSweep, ConfigDigest: "sha256:abcdef0123456789", Scenarios: scenarios("sha256:s", base)},
+		Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"config digest: match", "fct_p50_ns", "aligned=1"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package compare
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openoptics/internal/provenance"
+	"openoptics/internal/runner"
+)
+
+// writeLedger runs a tiny one-job sweep and returns its ledger path.
+func writeLedger(t *testing.T, dir string) string {
+	t.Helper()
+	spec := &runner.Spec{
+		Architectures: []string{"rotornet"}, Nodes: []int{4},
+		DurationMs: 2, Replications: 2,
+	}
+	path := filepath.Join(dir, "ledger.jsonl")
+	if _, err := runner.Sweep(spec, runner.SweepOptions{Jobs: 2, LedgerPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadRunSniffing(t *testing.T) {
+	dir := t.TempDir()
+	ledger := writeLedger(t, dir)
+
+	// JSONL ledger loads as a sweep with provenance from its header.
+	run, err := LoadRun(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Kind != KindSweep {
+		t.Fatalf("ledger kind = %q, want sweep", run.Kind)
+	}
+	if run.ConfigDigest == "" || run.Manifest == nil {
+		t.Fatal("ledger run missing provenance from header")
+	}
+	if len(run.Scenarios) != 1 || len(run.Scenarios[0].Reps) != 2 {
+		t.Fatalf("ledger aggregation: %+v", run.Scenarios)
+	}
+
+	// The aggregate JSON written from that ledger loads identically.
+	recs, hdr, err := runner.ReadLedgerFull(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := runner.NewAggregate("smoke", recs)
+	agg.Stamp(hdr)
+	sumPath := filepath.Join(dir, "summary.json")
+	f, err := os.Create(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	run2, err := LoadRun(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run2.Kind != KindSweep || run2.ConfigDigest != run.ConfigDigest {
+		t.Fatalf("summary load: kind=%q digest=%q, want sweep/%q", run2.Kind, run2.ConfigDigest, run.ConfigDigest)
+	}
+	if run2.Name != "smoke" {
+		t.Fatalf("summary name = %q", run2.Name)
+	}
+
+	// A directory holding a summary.json resolves to it.
+	run3, err := LoadRun(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run3.Kind != KindSweep || run3.Name != "smoke" {
+		t.Fatalf("dir load: %+v", run3)
+	}
+
+	// Comparing the ledger to its own aggregate: same config, no change.
+	rep, err := Compare(run, run2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Regressions != 0 || rep.Aligned != 1 {
+		t.Fatalf("self-compare: regressions=%d aligned=%d", rep.Regressions, rep.Aligned)
+	}
+}
+
+func TestLoadRunBench(t *testing.T) {
+	dir := t.TempDir()
+	m := provenance.New("sha256:bench", 42)
+	br := &BenchReport{
+		SchemaVersion: provenance.SchemaVersion, Manifest: &m,
+		Results: []BenchResult{{Name: "fig8", Reps: 1, WallNs: []float64{1e9},
+			AllocBytes: []float64{1e6}, Allocs: []float64{1000}}},
+	}
+	path := filepath.Join(dir, "bench.json")
+	b, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(b).Encode(br); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	run, err := LoadRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Kind != KindBench || run.Bench == nil || len(run.Bench.Results) != 1 {
+		t.Fatalf("bench load: %+v", run)
+	}
+	if run.ConfigDigest != "sha256:bench" {
+		t.Fatalf("bench digest = %q (manifest not recovered)", run.ConfigDigest)
+	}
+}
+
+func TestLoadRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadRun(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := LoadRun(dir); err == nil {
+		t.Fatal("empty dir must error")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"neither":"kind"}`), 0o644)
+	if _, err := LoadRun(bad); err == nil {
+		t.Fatal("unrecognized JSON must error")
+	}
+}

@@ -1,0 +1,148 @@
+// Package compare implements cross-run differential analytics: it loads two
+// runs' artifacts (sweep aggregates, sweep ledgers, or benchmark reports),
+// aligns their scenarios by provenance config digest, and tests every shared
+// metric for statistically significant change across seed replications —
+// Mann-Whitney U for significance, bootstrap confidence intervals for effect
+// size. Reports are deterministic: the same two inputs always produce the
+// same bytes, so CI can diff them and gate on them.
+package compare
+
+import (
+	"math"
+	"sort"
+)
+
+// MannWhitney runs the two-sided Mann-Whitney U test on independent samples
+// x and y, returning the U statistic (of x) and the p-value under the
+// tie-corrected normal approximation with continuity correction. Degenerate
+// inputs — either sample empty, or every observation tied — carry no
+// evidence of a shift and return p = 1.
+func MannWhitney(x, y []float64) (u, p float64) {
+	n1, n2 := len(x), len(y)
+	if n1 == 0 || n2 == 0 {
+		return 0, 1
+	}
+	type obs struct {
+		v     float64
+		first bool // belongs to x
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range x {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range y {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Average ranks over tie groups; accumulate the tie-correction term.
+	n := n1 + n2
+	var r1, tieTerm float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		t := float64(j - i)
+		rank := (float64(i+1) + float64(j)) / 2 // 1-based average rank
+		for k := i; k < j; k++ {
+			if all[k].first {
+				r1 += rank
+			}
+		}
+		tieTerm += t*t*t - t
+		i = j
+	}
+	u = r1 - float64(n1)*float64(n1+1)/2
+
+	mu := float64(n1) * float64(n2) / 2
+	nf := float64(n)
+	sigma2 := float64(n1) * float64(n2) / 12 * ((nf + 1) - tieTerm/(nf*(nf-1)))
+	if sigma2 <= 0 {
+		return u, 1 // all observations tied: no ordering information
+	}
+	z := u - mu
+	// Continuity correction toward the mean.
+	switch {
+	case z > 0.5:
+		z -= 0.5
+	case z < -0.5:
+		z += 0.5
+	default:
+		z = 0
+	}
+	z /= math.Sqrt(sigma2)
+	p = math.Erfc(math.Abs(z) / math.Sqrt2) // two-sided
+	if p > 1 {
+		p = 1
+	}
+	return u, p
+}
+
+// rng is a splitmix64 generator: tiny, deterministic, and independent of
+// math/rand's global state, so bootstrap intervals are byte-reproducible.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// bootstrapSeed fixes the resampling stream. A constant (rather than
+// wall-clock or global-rand) seed is what makes compare reports
+// byte-identical across invocations on the same inputs.
+const bootstrapSeed = 0x6f70656e6f707469 // "openopti"
+
+// BootstrapMeanDiffCI returns a percentile bootstrap confidence interval for
+// mean(y) - mean(x) at confidence level conf (e.g. 0.95), using iters
+// resamples from a deterministic generator. Empty samples yield (0, 0).
+func BootstrapMeanDiffCI(x, y []float64, iters int, conf float64) (lo, hi float64) {
+	if len(x) == 0 || len(y) == 0 || iters <= 0 {
+		return 0, 0
+	}
+	r := &rng{s: bootstrapSeed}
+	diffs := make([]float64, iters)
+	for i := range diffs {
+		diffs[i] = resampleMean(y, r) - resampleMean(x, r)
+	}
+	sort.Float64s(diffs)
+	alpha := (1 - conf) / 2
+	lo = diffs[clampIdx(alpha*float64(iters), iters)]
+	hi = diffs[clampIdx((1-alpha)*float64(iters)-1, iters)]
+	return lo, hi
+}
+
+func resampleMean(v []float64, r *rng) float64 {
+	var sum float64
+	for range v {
+		sum += v[r.intn(len(v))]
+	}
+	return sum / float64(len(v))
+}
+
+func clampIdx(f float64, n int) int {
+	i := int(f)
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range v {
+		sum += x
+	}
+	return sum / float64(len(v))
+}

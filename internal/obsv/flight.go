@@ -74,6 +74,12 @@ type FlightRecorder struct {
 	// OnDump, when set, is called after each anomaly dump with the trigger
 	// description (e.g. progress logging).
 	OnDump func(reason string)
+
+	// SchemaVersion and Manifest, when set, are embedded in every dump
+	// header so flight dumps carry their run's provenance. The package
+	// stays simulator-agnostic: both are opaque, set by the driver.
+	SchemaVersion int
+	Manifest      any
 }
 
 // NewFlightRecorder builds a recorder holding the last `size` samples
@@ -154,18 +160,21 @@ func (r *FlightRecorder) evaluate(s Sample) string {
 
 // DumpHeader is the first JSONL line of a dump.
 type DumpHeader struct {
-	Kind    string        `json:"kind"` // always "trigger"
-	Reason  string        `json:"reason"`
-	TimeNs  int64         `json:"time_ns"`
-	Slice   int64         `json:"slice"`
-	Samples int           `json:"samples"`
-	Config  TriggerConfig `json:"config"`
+	Kind          string        `json:"kind"` // always "trigger"
+	SchemaVersion int           `json:"schema_version,omitempty"`
+	Manifest      any           `json:"manifest,omitempty"`
+	Reason        string        `json:"reason"`
+	TimeNs        int64         `json:"time_ns"`
+	Slice         int64         `json:"slice"`
+	Samples       int           `json:"samples"`
+	Config        TriggerConfig `json:"config"`
 }
 
 func (r *FlightRecorder) writeDump(reason string, at Sample) {
 	enc := json.NewEncoder(r.sink)
 	enc.Encode(DumpHeader{
-		Kind: "trigger", Reason: reason, TimeNs: at.TimeNs, Slice: at.Slice,
+		Kind: "trigger", SchemaVersion: r.SchemaVersion, Manifest: r.Manifest,
+		Reason: reason, TimeNs: at.TimeNs, Slice: at.Slice,
 		Samples: r.n, Config: r.cfg,
 	})
 	for _, s := range r.Entries() {

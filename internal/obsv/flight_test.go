@@ -166,3 +166,34 @@ func TestManualDump(t *testing.T) {
 		t.Fatalf("header = %+v err=%v", hdr, err)
 	}
 }
+
+func TestDumpCarriesProvenance(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewFlightRecorder(2, TriggerConfig{}, &buf)
+	r.SchemaVersion = 1
+	r.Manifest = map[string]string{"config_digest": "sha256:abc"}
+	r.Record(sampleAt(3, Signals{}))
+	r.Dump("provenance check")
+
+	line := strings.SplitN(strings.TrimSpace(buf.String()), "\n", 2)[0]
+	var hdr DumpHeader
+	if err := json.Unmarshal([]byte(line), &hdr); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if hdr.SchemaVersion != 1 {
+		t.Fatalf("schema_version = %d, want 1", hdr.SchemaVersion)
+	}
+	m, ok := hdr.Manifest.(map[string]any)
+	if !ok || m["config_digest"] != "sha256:abc" {
+		t.Fatalf("manifest = %#v", hdr.Manifest)
+	}
+	// Recorders that never opt in keep the pre-provenance compact header.
+	buf.Reset()
+	r2 := NewFlightRecorder(2, TriggerConfig{}, &buf)
+	r2.Record(sampleAt(0, Signals{}))
+	r2.Dump("legacy")
+	legacy := strings.SplitN(strings.TrimSpace(buf.String()), "\n", 2)[0]
+	if strings.Contains(legacy, "schema_version") || strings.Contains(legacy, "manifest") {
+		t.Fatalf("opt-out dump leaked provenance keys: %s", legacy)
+	}
+}

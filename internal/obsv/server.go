@@ -70,6 +70,7 @@ func NewServer() *Server {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	s.Endpoint(MetricsPath, "text/plain; version=0.0.4; charset=utf-8")
 	s.Endpoint(SnapshotPath, "application/json")
+	s.Endpoint(RunInfoPath, "application/json")
 	return s
 }
 
@@ -78,6 +79,7 @@ const (
 	MetricsPath  = "/metrics"
 	SnapshotPath = "/snapshot"
 	ProgressPath = "/progress"
+	RunInfoPath  = "/runinfo"
 )
 
 // Endpoint returns the publish-only endpoint at path, registering it on
@@ -104,6 +106,12 @@ func (s *Server) Snapshot() *Published { return s.Endpoint(SnapshotPath, "") }
 // Progress is the /progress endpoint (JSON sweep progress).
 func (s *Server) Progress() *Published {
 	return s.Endpoint(ProgressPath, "application/json")
+}
+
+// RunInfo is the /runinfo endpoint (JSON run provenance manifest).
+// Drivers publish the manifest once at startup; it never changes mid-run.
+func (s *Server) RunInfo() *Published {
+	return s.Endpoint(RunInfoPath, "application/json")
 }
 
 // Start binds addr (":0" picks a free port) and serves in the background.

@@ -1,0 +1,149 @@
+// Package provenance pins run identity: every artifact the framework emits
+// (metrics JSON, trace JSONL, sweep ledgers and aggregates, flight-recorder
+// dumps) carries a RunManifest naming exactly what produced it — the
+// canonical digest of the resolved configuration, the seed set, the module
+// version and VCS revision the binary was built from, and the host
+// environment. Cross-run tooling (internal/compare, `ooctl compare`) keys
+// on the config digest to decide whether two runs are comparable at all.
+//
+// Manifest capture happens once per run, at CLI startup — never on the
+// simulation hot path.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// SchemaVersion is the version of the on-disk artifact schemas this build
+// writes. Bump it when a JSON/JSONL artifact changes shape incompatibly;
+// readers surface (rather than guess at) versions they do not know.
+const SchemaVersion = 1
+
+// Manifest identifies one run: what configuration it resolved to, which
+// seeds drove it, and what code and host produced it. All fields except
+// StartedAt and the host block are deterministic functions of the build
+// and the configuration.
+type Manifest struct {
+	SchemaVersion int `json:"schema_version"`
+	// ConfigDigest is the canonical-JSON SHA-256 of the resolved scenario
+	// or sweep specification ("sha256:<hex>"). Two runs are comparable
+	// when their digests match.
+	ConfigDigest string `json:"config_digest,omitempty"`
+	// Seeds is the run's seed set (a single simulation's seed, or the
+	// sweep master seed the per-job seeds fork from).
+	Seeds []uint64 `json:"seeds,omitempty"`
+
+	Module        string `json:"module,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	VCSRevision   string `json:"vcs_revision,omitempty"`
+	VCSTime       string `json:"vcs_time,omitempty"`
+	VCSDirty      bool   `json:"vcs_dirty,omitempty"`
+
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	// StartedAt is the wall-clock run start (RFC 3339, UTC). It is the
+	// only per-invocation field; comparison tooling ignores it.
+	StartedAt string `json:"started_at"`
+}
+
+// New captures a manifest for a run resolving to configDigest and driven
+// by the given seeds. Call once at run start.
+func New(configDigest string, seeds ...uint64) Manifest {
+	m := Manifest{
+		SchemaVersion: SchemaVersion,
+		ConfigDigest:  configDigest,
+		Seeds:         seeds,
+		GoVersion:     runtime.Version(),
+		OS:            runtime.GOOS,
+		Arch:          runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		StartedAt:     time.Now().UTC().Format(time.RFC3339),
+	}
+	m.Module, m.ModuleVersion, m.VCSRevision, m.VCSTime, m.VCSDirty = buildInfo()
+	return m
+}
+
+// buildInfo reads the binary's embedded module and VCS metadata. Binaries
+// built outside a VCS checkout (or test binaries) simply lack the VCS
+// fields; nothing here fails.
+func buildInfo() (module, version, rev, vcsTime string, dirty bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", "", "", "", false
+	}
+	module, version = bi.Main.Path, bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return module, version, rev, vcsTime, dirty
+}
+
+// Digest computes the canonical-JSON SHA-256 of v: v is marshaled, decoded
+// into generic maps, and re-marshaled, so object keys serialize sorted and
+// the digest is independent of struct field order. The result is
+// "sha256:<hex>". Digest is deterministic across hosts and Go versions for
+// JSON-marshalable values.
+func Digest(v any) (string, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("provenance: digest marshal: %w", err)
+	}
+	var generic any
+	if err := json.Unmarshal(raw, &generic); err != nil {
+		return "", fmt.Errorf("provenance: digest canonicalize: %w", err)
+	}
+	canon, err := json.Marshal(generic)
+	if err != nil {
+		return "", fmt.Errorf("provenance: digest remarshal: %w", err)
+	}
+	sum := sha256.Sum256(canon)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// MustDigest is Digest for values known to marshal (the framework's own
+// spec structs); it panics on the impossible error.
+func MustDigest(v any) string {
+	d, err := Digest(v)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// VersionString renders the one-line build identity the CLIs print for
+// -version: tool, module version, VCS revision (+dirty), Go and platform.
+func VersionString(tool string) string {
+	module, version, rev, _, dirty := buildInfo()
+	if module == "" {
+		module = "openoptics"
+	}
+	if version == "" {
+		version = "(unknown)"
+	}
+	if rev == "" {
+		rev = "unknown"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "+dirty"
+	}
+	return fmt.Sprintf("%s %s %s (rev %s, %s %s/%s)",
+		tool, module, version, rev, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

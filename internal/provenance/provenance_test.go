@@ -1,0 +1,73 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDigestDeterministicAndKeyOrderIndependent(t *testing.T) {
+	type A struct {
+		X int    `json:"x"`
+		Y string `json:"y"`
+	}
+	d1 := MustDigest(A{X: 1, Y: "a"})
+	d2 := MustDigest(A{X: 1, Y: "a"})
+	if d1 != d2 {
+		t.Fatalf("digest not deterministic: %s vs %s", d1, d2)
+	}
+	if !strings.HasPrefix(d1, "sha256:") || len(d1) != len("sha256:")+64 {
+		t.Fatalf("digest shape: %s", d1)
+	}
+
+	// The canonical form sorts object keys, so two maps with different
+	// insertion orders digest identically.
+	m1 := map[string]any{"alpha": 1, "beta": 2}
+	m2 := map[string]any{"beta": 2, "alpha": 1}
+	if MustDigest(m1) != MustDigest(m2) {
+		t.Fatal("digest depends on map insertion order")
+	}
+
+	// A struct and the equivalent map canonicalize to the same JSON.
+	if MustDigest(A{X: 1, Y: "a"}) != MustDigest(map[string]any{"y": "a", "x": 1}) {
+		t.Fatal("struct and equivalent map digest differently")
+	}
+
+	if MustDigest(A{X: 2, Y: "a"}) == d1 {
+		t.Fatal("different values digest identically")
+	}
+}
+
+func TestDigestRejectsUnmarshalable(t *testing.T) {
+	if _, err := Digest(func() {}); err == nil {
+		t.Fatal("expected error for unmarshalable value")
+	}
+}
+
+func TestNewManifest(t *testing.T) {
+	m := New("sha256:abc", 1, 2, 3)
+	if m.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version = %d", m.SchemaVersion)
+	}
+	if m.ConfigDigest != "sha256:abc" {
+		t.Fatalf("config digest = %q", m.ConfigDigest)
+	}
+	if len(m.Seeds) != 3 || m.Seeds[0] != 1 {
+		t.Fatalf("seeds = %v", m.Seeds)
+	}
+	if m.GoVersion == "" || m.OS == "" || m.Arch == "" || m.NumCPU < 1 {
+		t.Fatalf("runtime fields missing: %+v", m)
+	}
+	if m.StartedAt == "" {
+		t.Fatal("started_at missing")
+	}
+}
+
+func TestVersionString(t *testing.T) {
+	s := VersionString("oosim")
+	if !strings.HasPrefix(s, "oosim ") {
+		t.Fatalf("version string = %q", s)
+	}
+	if !strings.Contains(s, "go1") {
+		t.Fatalf("version string lacks Go version: %q", s)
+	}
+}

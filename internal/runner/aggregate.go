@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"openoptics/internal/provenance"
 )
 
 // Aggregate is the deterministic view of a sweep ledger: records deduped
@@ -15,17 +17,39 @@ import (
 // counts stay in the raw ledger — so CSV/JSON bytes are identical for any
 // worker count or completion order.
 type Aggregate struct {
-	Name      string          `json:"name,omitempty"`
+	SchemaVersion int    `json:"schema_version"`
+	Name          string `json:"name,omitempty"`
+	// ConfigDigest and Manifest carry the sweep's provenance (from the
+	// ledger header); Stamp fills them. Aggregates built from pre-header
+	// ledgers leave both empty.
+	ConfigDigest string               `json:"config_digest,omitempty"`
+	Manifest     *provenance.Manifest `json:"manifest,omitempty"`
+
 	Jobs      []Record        `json:"-"`
 	Scenarios []ScenarioStats `json:"scenarios"`
+}
+
+// Stamp copies the sweep's provenance from the ledger header into the
+// aggregate (nil header is a no-op, keeping pre-header ledgers loadable).
+func (a *Aggregate) Stamp(h *LedgerHeader) {
+	if h == nil {
+		return
+	}
+	a.Manifest = h.Manifest
+	if h.Manifest != nil {
+		a.ConfigDigest = h.Manifest.ConfigDigest
+	}
 }
 
 // ScenarioStats summarizes one scenario across its replications.
 type ScenarioStats struct {
 	Scenario string `json:"scenario"`
-	Jobs     int    `json:"jobs"`
-	OK       int    `json:"ok"`
-	Failed   int    `json:"failed"`
+	// ConfigDigest identifies the grid point (replication axis stripped);
+	// cross-run comparison aligns scenarios on it.
+	ConfigDigest string `json:"config_digest,omitempty"`
+	Jobs         int    `json:"jobs"`
+	OK           int    `json:"ok"`
+	Failed       int    `json:"failed"`
 
 	// Cross-replication stats over successful jobs (fct profile fields
 	// zero under the buffer profile and vice versa where not measured).
@@ -34,15 +58,50 @@ type ScenarioStats struct {
 	FCTMaxNs     crossRep `json:"fct_max_ns"`
 	BufP999Bytes crossRep `json:"buf_p999_bytes"`
 	Flows        crossRep `json:"flows"`
+
+	// Reps lists every successful replication's deterministic metrics in
+	// job-ID order — the raw samples cross-run significance tests need.
+	Reps []RepMetrics `json:"reps"`
+}
+
+// RepMetrics is one replication's deterministic measurement, lifted from
+// the ledger into the aggregate so summary.json is self-contained for
+// statistical comparison.
+type RepMetrics struct {
+	JobID string `json:"job_id"`
+	Rep   int    `json:"rep"`
+	Seed  uint64 `json:"seed"`
+
+	Flows  uint64 `json:"flows"`
+	Events uint64 `json:"events"`
+
+	FCTMeanNs float64 `json:"fct_mean_ns"`
+	FCTP50Ns  float64 `json:"fct_p50_ns"`
+	FCTP95Ns  float64 `json:"fct_p95_ns"`
+	FCTP99Ns  float64 `json:"fct_p99_ns"`
+	FCTMaxNs  float64 `json:"fct_max_ns"`
+
+	BufP999Bytes float64 `json:"buf_p999_bytes"`
+	BufMaxBytes  float64 `json:"buf_max_bytes"`
+
+	// Per-component latency attribution totals (ns), present when the
+	// sweep ran with trace_sample > 0.
+	TraceDelivered      uint64 `json:"trace_delivered,omitempty"`
+	CompSliceWaitNs     int64  `json:"comp_slice_wait_ns,omitempty"`
+	CompQueueingNs      int64  `json:"comp_queueing_ns,omitempty"`
+	CompSerializationNs int64  `json:"comp_serialization_ns,omitempty"`
+	CompPropagationNs   int64  `json:"comp_propagation_ns,omitempty"`
 }
 
 // NewAggregate builds the deterministic aggregate from raw ledger records.
 func NewAggregate(name string, recs []Record) *Aggregate {
-	a := &Aggregate{Name: name, Jobs: SortRecords(recs)}
+	a := &Aggregate{SchemaVersion: provenance.SchemaVersion, Name: name, Jobs: SortRecords(recs)}
 	type bucket struct {
 		key                           string
+		digest                        string
 		jobs, ok, failed              int
 		p50, p99, max, bufP999, flows []float64
+		reps                          []RepMetrics
 	}
 	var order []string
 	buckets := make(map[string]*bucket)
@@ -54,27 +113,58 @@ func NewAggregate(name string, recs []Record) *Aggregate {
 			buckets[key] = b
 			order = append(order, key)
 		}
+		if b.digest == "" && r.Scenario != nil {
+			b.digest = r.Scenario.ConfigDigest()
+		}
 		b.jobs++
 		if r.Status != StatusOK || r.Result == nil {
 			b.failed++
 			continue
 		}
 		b.ok++
-		b.p50 = append(b.p50, r.Result.FCTP50Ns)
-		b.p99 = append(b.p99, r.Result.FCTP99Ns)
-		b.max = append(b.max, r.Result.FCTMaxNs)
-		b.bufP999 = append(b.bufP999, r.Result.BufP999Bytes)
-		b.flows = append(b.flows, float64(r.Result.FlowsStarted))
+		res := r.Result
+		b.p50 = append(b.p50, res.FCTP50Ns)
+		b.p99 = append(b.p99, res.FCTP99Ns)
+		b.max = append(b.max, res.FCTMaxNs)
+		b.bufP999 = append(b.bufP999, res.BufP999Bytes)
+		b.flows = append(b.flows, float64(res.FlowsStarted))
+		rep := RepMetrics{
+			JobID:  r.JobID,
+			Flows:  res.FlowsStarted,
+			Events: res.Events,
+
+			FCTMeanNs: res.FCTMeanNs,
+			FCTP50Ns:  res.FCTP50Ns,
+			FCTP95Ns:  res.FCTP95Ns,
+			FCTP99Ns:  res.FCTP99Ns,
+			FCTMaxNs:  res.FCTMaxNs,
+
+			BufP999Bytes: res.BufP999Bytes,
+			BufMaxBytes:  res.BufMaxBytes,
+
+			TraceDelivered:      res.TraceDelivered,
+			CompSliceWaitNs:     res.CompSliceWaitNs,
+			CompQueueingNs:      res.CompQueueingNs,
+			CompSerializationNs: res.CompSerializationNs,
+			CompPropagationNs:   res.CompPropagationNs,
+		}
+		if r.Scenario != nil {
+			rep.Rep = r.Scenario.Rep
+			rep.Seed = r.Scenario.Seed
+		}
+		b.reps = append(b.reps, rep)
 	}
 	for _, key := range order {
 		b := buckets[key]
 		a.Scenarios = append(a.Scenarios, ScenarioStats{
-			Scenario: key, Jobs: b.jobs, OK: b.ok, Failed: b.failed,
+			Scenario: key, ConfigDigest: b.digest,
+			Jobs: b.jobs, OK: b.ok, Failed: b.failed,
 			FCTP50Ns:     summarize(b.p50),
 			FCTP99Ns:     summarize(b.p99),
 			FCTMaxNs:     summarize(b.max),
 			BufP999Bytes: summarize(b.bufP999),
 			Flows:        summarize(b.flows),
+			Reps:         b.reps,
 		})
 	}
 	return a

@@ -1,0 +1,202 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openoptics/internal/provenance"
+)
+
+func provSpec() *Spec {
+	return &Spec{
+		Architectures: []string{"rotornet"}, Nodes: []int{4},
+		DurationMs: 2, Replications: 2,
+	}
+}
+
+func TestLedgerHeaderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if _, err := Sweep(provSpec(), SweepOptions{Jobs: 2, LedgerPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	recs, hdr, err := ReadLedgerFull(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr == nil {
+		t.Fatal("fresh sweep ledger has no provenance header")
+	}
+	if hdr.Kind != "header" || hdr.SchemaVersion != provenance.SchemaVersion {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if hdr.Manifest == nil || hdr.Manifest.ConfigDigest != provSpec().ConfigDigest() {
+		t.Fatalf("header manifest digest = %+v, want spec digest %s", hdr.Manifest, provSpec().ConfigDigest())
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (header must not consume a record)", len(recs))
+	}
+	// The header must be the first physical line.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := bytes.SplitN(raw, []byte("\n"), 2)[0]
+	if !bytes.Contains(first, []byte(`"kind":"header"`)) {
+		t.Fatalf("first ledger line is not the header: %s", first)
+	}
+	// Plain ReadLedger skips it transparently.
+	recs2, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 2 {
+		t.Fatalf("ReadLedger sees %d records, want 2", len(recs2))
+	}
+}
+
+func TestLedgerResumeKeepsSingleHeader(t *testing.T) {
+	spec := provSpec()
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if _, err := Sweep(spec, SweepOptions{Jobs: 1, LedgerPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one record so the resume has work, then resume.
+	recs, hdr, err := ReadLedgerFull(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	hb, _ := json.Marshal(hdr)
+	buf.Write(append(hb, '\n'))
+	rb, _ := json.Marshal(recs[0])
+	buf.Write(append(rb, '\n'))
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sr, err := Sweep(spec, SweepOptions{Jobs: 1, LedgerPath: path, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Skipped != 1 || sr.OK != 1 {
+		t.Fatalf("resume = %+v, want 1 skipped + 1 run", sr)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(raw, []byte(`"kind":"header"`)); n != 1 {
+		t.Fatalf("resumed ledger has %d header lines, want 1", n)
+	}
+	if _, hdr2, err := ReadLedgerFull(path); err != nil || hdr2 == nil ||
+		hdr2.Manifest.ConfigDigest != hdr.Manifest.ConfigDigest {
+		t.Fatalf("resumed header lost or changed: %+v, %v", hdr2, err)
+	}
+}
+
+func TestHeaderlessLedgerStillLoads(t *testing.T) {
+	// Pre-provenance ledgers (earlier PRs) have no header line; everything
+	// must keep working with a nil header.
+	path := filepath.Join(t.TempDir(), "old.jsonl")
+	var buf bytes.Buffer
+	for _, r := range []Record{
+		{JobID: "a/r0", Status: StatusOK, Result: &Result{Events: 1}, Attempts: 1},
+		{JobID: "a/r1", Status: StatusOK, Result: &Result{Events: 2}, Attempts: 1},
+	} {
+		b, _ := json.Marshal(r)
+		buf.Write(append(b, '\n'))
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, hdr, err := ReadLedgerFull(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != nil {
+		t.Fatalf("headerless ledger produced header %+v", hdr)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	agg := NewAggregate("old", recs)
+	agg.Stamp(hdr) // nil-safe no-op
+	if agg.Manifest != nil || agg.ConfigDigest != "" {
+		t.Fatalf("stamping a nil header set provenance: %+v", agg)
+	}
+	if agg.SchemaVersion != provenance.SchemaVersion {
+		t.Fatalf("aggregate schema version = %d", agg.SchemaVersion)
+	}
+}
+
+func TestAggregateCarriesRepsAndDigests(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	spec := provSpec()
+	if _, err := Sweep(spec, SweepOptions{Jobs: 2, LedgerPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	recs, hdr, err := ReadLedgerFull(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregate("t", recs)
+	agg.Stamp(hdr)
+	if agg.ConfigDigest != spec.ConfigDigest() {
+		t.Fatalf("aggregate digest %q != spec digest %q", agg.ConfigDigest, spec.ConfigDigest())
+	}
+	if len(agg.Scenarios) != 1 {
+		t.Fatalf("scenarios = %d", len(agg.Scenarios))
+	}
+	sc := agg.Scenarios[0]
+	if sc.ConfigDigest == "" {
+		t.Fatal("scenario digest empty")
+	}
+	if sc.ConfigDigest == agg.ConfigDigest {
+		t.Fatal("scenario digest must differ from the sweep digest (different identities)")
+	}
+	if len(sc.Reps) != 2 {
+		t.Fatalf("reps = %d, want 2", len(sc.Reps))
+	}
+	seen := map[uint64]bool{}
+	for i, r := range sc.Reps {
+		if r.Rep != i {
+			t.Fatalf("rep[%d].Rep = %d (job-ID order broken)", i, r.Rep)
+		}
+		if r.Seed == 0 || seen[r.Seed] {
+			t.Fatalf("rep seeds not distinct: %+v", sc.Reps)
+		}
+		seen[r.Seed] = true
+		if r.Flows == 0 || r.FCTP50Ns == 0 {
+			t.Fatalf("rep[%d] metrics empty: %+v", i, r)
+		}
+	}
+	// Replications of one scenario share the digest by construction.
+	if d0, d1 := recs[0].Scenario.ConfigDigest(), recs[1].Scenario.ConfigDigest(); d0 != d1 {
+		t.Fatalf("replication digests differ: %s vs %s", d0, d1)
+	}
+}
+
+func TestTraceSampleFeedsComponentMetrics(t *testing.T) {
+	spec := provSpec()
+	spec.TraceSample = 1
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	if _, err := Sweep(spec, SweepOptions{Jobs: 2, LedgerPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadLedger(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Result.TraceDelivered == 0 {
+			t.Fatalf("trace_sample=1 job delivered no traced packets: %+v", r.Result)
+		}
+		total := r.Result.CompSliceWaitNs + r.Result.CompQueueingNs +
+			r.Result.CompSerializationNs + r.Result.CompPropagationNs
+		if total <= 0 {
+			t.Fatalf("component attribution empty: %+v", r.Result)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"openoptics"
 	"openoptics/internal/arch"
+	"openoptics/internal/provenance"
 	"openoptics/internal/routing"
 	"openoptics/internal/sim"
 	"openoptics/internal/stats"
@@ -30,11 +31,21 @@ type Scenario struct {
 	// Seed is the derived per-job seed (sweep seed forked by job ID).
 	Seed uint64 `json:"seed"`
 
-	DurationMs      int    `json:"duration_ms"`
-	SliceDurationNs int64  `json:"slice_duration_ns,omitempty"`
-	Uplink          int    `json:"uplink,omitempty"`
-	MaxHop          int    `json:"max_hop,omitempty"`
-	Profile         string `json:"profile"`
+	DurationMs      int     `json:"duration_ms"`
+	SliceDurationNs int64   `json:"slice_duration_ns,omitempty"`
+	Uplink          int     `json:"uplink,omitempty"`
+	MaxHop          int     `json:"max_hop,omitempty"`
+	Profile         string  `json:"profile"`
+	TraceSample     float64 `json:"trace_sample,omitempty"`
+}
+
+// ConfigDigest is the canonical-JSON SHA-256 of the scenario with its
+// replication axis stripped (ID, Rep, Seed zeroed): the identity of the
+// grid point itself. Replications of one scenario share a digest, and two
+// sweeps' scenarios align for comparison exactly when digests match.
+func (sc Scenario) ConfigDigest() string {
+	sc.ID, sc.Rep, sc.Seed = "", 0, 0
+	return provenance.MustDigest(sc)
 }
 
 // id renders the canonical job ID. It is the scenario's identity: ledger
@@ -95,6 +106,14 @@ type Result struct {
 	BufMaxBytes  float64 `json:"buf_max_bytes"`
 	// Parked is the packet count offloaded to hosts across the network.
 	Parked uint64 `json:"parked"`
+
+	// Per-component latency attribution (PR 5 decomposition) summed over
+	// sampled delivered packets; present when the spec sets trace_sample.
+	TraceDelivered      uint64 `json:"trace_delivered,omitempty"`
+	CompSliceWaitNs     int64  `json:"comp_slice_wait_ns,omitempty"`
+	CompQueueingNs      int64  `json:"comp_queueing_ns,omitempty"`
+	CompSerializationNs int64  `json:"comp_serialization_ns,omitempty"`
+	CompPropagationNs   int64  `json:"comp_propagation_ns,omitempty"`
 }
 
 // ErrTimeout marks a job attempt that exceeded its wall-clock budget. It
@@ -109,6 +128,9 @@ type RunOpts struct {
 	// Metrics, when non-nil, receives the job network's telemetry
 	// registry (PR 1) as JSON after the run.
 	Metrics io.Writer
+	// Manifest, when non-nil, is stamped into the job's metrics export
+	// (the sweep-wide provenance manifest).
+	Manifest any
 }
 
 // Run executes the scenario to completion (or timeout) and measures it.
@@ -120,6 +142,15 @@ func (sc Scenario) Run(opt RunOpts) (*Result, error) {
 	var reg *telemetry.Registry
 	if opt.Metrics != nil {
 		reg = in.Net.Metrics() // build before traffic so per-slice counters record
+		if opt.Manifest != nil {
+			reg.SetManifest(opt.Manifest)
+		}
+	}
+	var tracer *telemetry.Tracer
+	if sc.TraceSample > 0 {
+		// Sink-less: the tracer only aggregates the per-component latency
+		// attribution the Result reports.
+		tracer = in.Net.Tracer(sc.TraceSample)
 	}
 	eng := in.Net.Engine()
 	eps := in.Net.Endpoints()
@@ -162,6 +193,14 @@ func (sc Scenario) Run(opt RunOpts) (*Result, error) {
 	}
 	for _, h := range in.Net.Hosts() {
 		res.Parked += h.Counters.Parked
+	}
+	if tracer != nil {
+		ts := tracer.Stats()
+		res.TraceDelivered = ts.Delivered
+		res.CompSliceWaitNs = ts.Comp.SliceWaitNs
+		res.CompQueueingNs = ts.Comp.QueueingNs
+		res.CompSerializationNs = ts.Comp.SerializationNs
+		res.CompPropagationNs = ts.Comp.PropagationNs
 	}
 	if reg != nil {
 		if err := reg.WriteJSON(opt.Metrics); err != nil {

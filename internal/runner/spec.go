@@ -16,6 +16,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"openoptics/internal/provenance"
 )
 
 // Profiles select what a job measures.
@@ -64,6 +66,11 @@ type Spec struct {
 	// Profile selects the measurement methodology: "fct" (default) or
 	// "buffer".
 	Profile string `json:"profile,omitempty"`
+	// TraceSample, when > 0, attaches a sink-less in-band tracer to every
+	// job sampling this fraction of flows, so results carry the PR 5
+	// per-component latency attribution (slice-wait/queueing/
+	// serialization/propagation totals) for cross-run comparison.
+	TraceSample float64 `json:"trace_sample,omitempty"`
 
 	// Seed is the sweep master seed; per-job seeds fork from it. The zero
 	// value means 42 — set SeedSet to request a literal zero seed.
@@ -175,8 +182,24 @@ func (s *Spec) Validate() error {
 	if s.Replications < 0 || s.Retries < 0 || s.TimeoutMs < 0 || s.DurationMs < 0 {
 		return fmt.Errorf("runner: negative replications/retries/timeout/duration")
 	}
+	if s.TraceSample < 0 || s.TraceSample > 1 {
+		return fmt.Errorf("runner: trace_sample %g out of [0,1]", s.TraceSample)
+	}
 	return nil
 }
+
+// ConfigDigest is the canonical-JSON SHA-256 of the fully resolved spec
+// (defaults applied, the display name excluded), the identity compare
+// tooling uses to decide whether two sweeps measured the same thing.
+func (s *Spec) ConfigDigest() string {
+	d := s.withDefaults()
+	d.Name = "" // a relabeled sweep is still the same measurement
+	return provenance.MustDigest(d)
+}
+
+// MasterSeed is the sweep master seed with the default applied — the seed
+// the provenance manifest records.
+func (s *Spec) MasterSeed() uint64 { return s.withDefaults().Seed }
 
 // Expand materializes the grid into jobs in deterministic order:
 // architecture, routing, nodes, trace, load, replication — nested in that
@@ -205,6 +228,7 @@ func (s *Spec) Expand() []Job {
 								Uplink:          d.Uplink,
 								MaxHop:          d.MaxHop,
 								Profile:         d.Profile,
+								TraceSample:     d.TraceSample,
 							}
 							sc.ID = sc.id()
 							sc.Seed = jobSeed(d.Seed, sc.ID)

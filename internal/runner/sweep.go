@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"openoptics/internal/provenance"
 )
 
 // SweepOptions tunes one sweep execution.
@@ -36,6 +38,11 @@ type SweepOptions struct {
 	// OnProgress, when set, observes the running tally after every job
 	// completion (calls are serialized) — the live-observability feed.
 	OnProgress func(SweepProgress)
+	// Manifest overrides the sweep's provenance manifest (nil: Sweep
+	// captures one itself). Drivers that also publish the manifest
+	// elsewhere (/runinfo) pass theirs so every artifact carries the
+	// same one.
+	Manifest *provenance.Manifest
 }
 
 // SweepResult summarizes a sweep execution.
@@ -112,6 +119,16 @@ func Sweep(spec *Spec, opt SweepOptions) (*SweepResult, error) {
 	defer ledger.Close()
 
 	d := spec.withDefaults()
+	// Provenance: a fresh ledger leads with the sweep's manifest (config
+	// digest + master seed); resumed ledgers keep their original header.
+	// Captured once per sweep — never inside a job.
+	manifest := provenance.New(spec.ConfigDigest(), d.Seed)
+	if opt.Manifest != nil {
+		manifest = *opt.Manifest
+	}
+	if err := ledger.WriteHeader(&manifest); err != nil {
+		return nil, fmt.Errorf("runner: ledger header: %w", err)
+	}
 	retries := d.Retries
 	if opt.Retries >= 0 {
 		retries = opt.Retries
@@ -123,7 +140,7 @@ func Sweep(spec *Spec, opt SweepOptions) (*SweepResult, error) {
 	for i, j := range pending {
 		sc := j.Scenario
 		tasks[i] = Task{ID: j.ID, Run: func(int) (any, error) {
-			ro := RunOpts{Timeout: timeout}
+			ro := RunOpts{Timeout: timeout, Manifest: &manifest}
 			if opt.MetricsDir != "" {
 				f, err := os.Create(filepath.Join(opt.MetricsDir, sanitize(sc.ID)+".json"))
 				if err != nil {

@@ -7,6 +7,8 @@ import (
 	"math"
 	"reflect"
 	"strings"
+
+	"openoptics/internal/provenance"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -111,7 +113,17 @@ type jsonFamily struct {
 	Metrics []jsonMetric `json:"metrics"`
 }
 
-// WriteJSON renders the registry as a JSON array of families.
+// jsonExport is the versioned envelope of the JSON rendering: the schema
+// version, the run manifest (when attached via SetManifest), and the
+// metric families.
+type jsonExport struct {
+	SchemaVersion int          `json:"schema_version"`
+	Manifest      any          `json:"manifest,omitempty"`
+	Families      []jsonFamily `json:"families"`
+}
+
+// WriteJSON renders the registry as a versioned JSON document:
+// {"schema_version": N, "manifest": {...}, "families": [...]}.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	out := make([]jsonFamily, 0, len(r.families))
 	for _, f := range r.families {
@@ -141,7 +153,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(jsonExport{
+		SchemaVersion: provenance.SchemaVersion,
+		Manifest:      r.manifest,
+		Families:      out,
+	})
 }
 
 func labelMap(labels []Label) map[string]string {

@@ -131,7 +131,14 @@ func (f *Family) Each(fn func(labels []Label, v float64)) {
 type Registry struct {
 	families []*Family
 	byName   map[string]*Family
+	// manifest, when set, is embedded in the JSON export so metrics files
+	// carry their run's provenance (see internal/provenance).
+	manifest any
 }
+
+// SetManifest attaches the run manifest embedded by WriteJSON. Call once
+// at run start; export-time only, never on the simulation hot path.
+func (r *Registry) SetManifest(m any) { r.manifest = m }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {

@@ -110,12 +110,35 @@ func TestJSONExport(t *testing.T) {
 	if err := r.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
-	var fams []map[string]any
-	if err := json.Unmarshal(buf.Bytes(), &fams); err != nil {
+	var doc struct {
+		SchemaVersion int              `json:"schema_version"`
+		Manifest      map[string]any   `json:"manifest"`
+		Families      []map[string]any `json:"families"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
 		t.Fatalf("JSON export does not parse: %v\n%s", err, buf.String())
 	}
-	if len(fams) != 2 {
-		t.Fatalf("families = %d", len(fams))
+	if doc.SchemaVersion != 1 {
+		t.Fatalf("schema_version = %d", doc.SchemaVersion)
+	}
+	if doc.Manifest != nil {
+		t.Fatalf("manifest should be absent before SetManifest: %v", doc.Manifest)
+	}
+	if len(doc.Families) != 2 {
+		t.Fatalf("families = %d", len(doc.Families))
+	}
+
+	// SetManifest embeds the run manifest in the export.
+	r.SetManifest(map[string]string{"config_digest": "sha256:xyz"})
+	buf.Reset()
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Manifest["config_digest"] != "sha256:xyz" {
+		t.Fatalf("manifest not embedded: %v", doc.Manifest)
 	}
 }
 
@@ -393,5 +416,39 @@ func TestMarkDequeuedGuards(t *testing.T) {
 	pt.MarkDequeued(2, 99, 99) // already stamped: keep first
 	if pt.Hops[0].DeqNs != 10 {
 		t.Fatal("re-stamped a stamped hop")
+	}
+}
+
+func TestTracerWriteHeader(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(1, &buf)
+	tr.WriteHeader(map[string]string{"config_digest": "sha256:hdr"})
+	flow := core.FlowKey{SrcHost: 1, DstHost: 2, SrcPort: 1, DstPort: 2, Proto: core.ProtoUDP}
+	pkt := &core.Packet{ID: 1, Flow: flow, SrcNode: 0, DstNode: 1, Size: 64}
+	tr.Start(pkt, 10)
+	tr.Deliver(pkt, 1, 20)
+
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("stream has %d lines, want header + record", len(lines))
+	}
+	var hdr TraceHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if hdr.Kind != "header" || hdr.SchemaVersion != 1 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	m, ok := hdr.Manifest.(map[string]any)
+	if !ok || m["config_digest"] != "sha256:hdr" {
+		t.Fatalf("manifest = %#v", hdr.Manifest)
+	}
+
+	// Sink-less tracers must ignore WriteHeader entirely (the runner uses
+	// one for component attribution without any trace file).
+	tr2 := NewTracer(1, nil)
+	tr2.WriteHeader(map[string]string{"x": "y"})
+	if tr2.SinkErrs != 0 {
+		t.Fatalf("nil-sink WriteHeader flagged errors: %d", tr2.SinkErrs)
 	}
 }

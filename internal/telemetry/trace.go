@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"openoptics/internal/core"
+	"openoptics/internal/provenance"
 )
 
 // Tracer implements sampled in-band packet tracing (INT-style): a data
@@ -122,6 +123,30 @@ func (t *Tracer) SetSink(w io.Writer) {
 		t.enc = json.NewEncoder(w)
 	} else {
 		t.enc = nil
+	}
+}
+
+// TraceHeader is the optional first line of a trace JSONL stream: the
+// schema version and run manifest of the run that produced it. Readers
+// distinguish it from trace records by its "kind" field; headerless
+// streams (pre-provenance traces, programmatic sinks) remain valid.
+type TraceHeader struct {
+	Kind          string `json:"kind"` // always "header"
+	SchemaVersion int    `json:"schema_version"`
+	Manifest      any    `json:"manifest,omitempty"`
+}
+
+// WriteHeader stamps the sink with a header line carrying the run
+// manifest. Call once, right after SetSink and before the run starts, so
+// the header precedes every trace record. A nil sink is a no-op.
+func (t *Tracer) WriteHeader(manifest any) {
+	if t.enc == nil {
+		return
+	}
+	if err := t.enc.Encode(TraceHeader{
+		Kind: "header", SchemaVersion: provenance.SchemaVersion, Manifest: manifest,
+	}); err != nil {
+		t.SinkErrs++
 	}
 }
 

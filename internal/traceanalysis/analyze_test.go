@@ -179,3 +179,46 @@ func TestScanReaderErrors(t *testing.T) {
 		t.Fatalf("decoded %v, want [1]", got)
 	}
 }
+
+// TestScanSurfacesProvenanceHeader pins the PR 6 trace-header contract:
+// a header-led stream surfaces its provenance without counting the line
+// as a record or corruption, and headerless (older) streams keep nil.
+func TestScanSurfacesProvenanceHeader(t *testing.T) {
+	in := bytes.NewBufferString(
+		`{"kind":"header","schema_version":1,"manifest":{"config_digest":"sha256:feed"}}` + "\n" +
+			`{"pkt_id":1,"flow":"a","src_node":0,"dst_node":1,"size":64,"start_ns":5,"hops":[],"disposition":"delivered","end_node":1,"end_ns":9,"end_slice":-1}` + "\n")
+	var n int
+	rs, err := traceanalysis.Scan(in, func(*core.PktTrace) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Headers != 1 || rs.Records != 1 || rs.Corrupt != 0 || n != 1 {
+		t.Fatalf("read stats %+v, decoded %d", rs, n)
+	}
+	if rs.Header == nil || rs.Header.SchemaVersion != 1 {
+		t.Fatalf("header not surfaced: %+v", rs.Header)
+	}
+	if got := rs.Header.ConfigDigest(); got != "sha256:feed" {
+		t.Fatalf("config digest %q", got)
+	}
+
+	// A line that merely contains the probe bytes but is not a header must
+	// fall through to record decoding, not be swallowed.
+	in2 := bytes.NewBufferString(`{"pkt_id":2,"flow":"\"kind\":\"header\"","src_node":0,"dst_node":1,"size":64,"start_ns":1,"hops":[],"disposition":"delivered","end_node":1,"end_ns":2,"end_slice":-1}` + "\n")
+	rs2, err := traceanalysis.Scan(in2, func(*core.PktTrace) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs2.Headers != 0 || rs2.Records != 1 {
+		t.Fatalf("probe false positive: %+v", rs2)
+	}
+
+	// Headerless legacy traces: golden fixture predates headers.
+	a := analyzeGolden(t)
+	if a.Read.Headers != 0 || a.Read.Header != nil {
+		t.Fatalf("golden fixture should be headerless: %+v", a.Read)
+	}
+	if got := a.Read.Header.ConfigDigest(); got != "" {
+		t.Fatalf("nil header digest %q", got)
+	}
+}

@@ -26,6 +26,35 @@ type ReadStats struct {
 	Lines   int `json:"lines"`   // non-empty lines seen
 	Records int `json:"records"` // successfully decoded traces
 	Corrupt int `json:"corrupt"` // skipped lines
+	Headers int `json:"headers"` // provenance header lines seen
+
+	// Header is the first provenance header line encountered (PR 6 traces
+	// start with one; older headerless traces simply leave it nil).
+	Header *Header `json:"header,omitempty"`
+}
+
+// Header is the decoded provenance header line a telemetry.Tracer stamps
+// at the top of a trace stream: the artifact schema version and the run
+// manifest, kept generic here so analysis does not depend on the manifest
+// layout.
+type Header struct {
+	Kind          string          `json:"kind"`
+	SchemaVersion int             `json:"schema_version"`
+	Manifest      json.RawMessage `json:"manifest,omitempty"`
+}
+
+// ConfigDigest extracts the manifest's config digest ("" when absent).
+func (h *Header) ConfigDigest() string {
+	if h == nil || len(h.Manifest) == 0 {
+		return ""
+	}
+	var m struct {
+		ConfigDigest string `json:"config_digest"`
+	}
+	if err := json.Unmarshal(h.Manifest, &m); err != nil {
+		return ""
+	}
+	return m.ConfigDigest
 }
 
 // Add accumulates o into s (for multi-file reads).
@@ -33,7 +62,15 @@ func (s *ReadStats) Add(o ReadStats) {
 	s.Lines += o.Lines
 	s.Records += o.Records
 	s.Corrupt += o.Corrupt
+	s.Headers += o.Headers
+	if s.Header == nil {
+		s.Header = o.Header
+	}
 }
+
+// headerProbe is the cheap containment test selecting lines that might be
+// provenance headers (the encoder we control always emits this key pair).
+var headerProbe = []byte(`"kind":"header"`)
 
 // Scan streams trace records from r, invoking fn for each decoded one.
 // The record passed to fn is freshly allocated per line; fn may retain it.
@@ -49,6 +86,20 @@ func Scan(r io.Reader, fn func(*core.PktTrace)) (ReadStats, error) {
 			continue
 		}
 		rs.Lines++
+		// A header line would decode into a zero PktTrace silently; detect
+		// it first. The containment probe keeps the common per-record path
+		// at one unmarshal.
+		if bytes.Contains(raw, headerProbe) {
+			var h Header
+			if err := json.Unmarshal(raw, &h); err == nil && h.Kind == "header" {
+				rs.Headers++
+				if rs.Header == nil {
+					hc := h
+					rs.Header = &hc
+				}
+				continue
+			}
+		}
 		tr := new(core.PktTrace)
 		if err := json.Unmarshal(raw, tr); err != nil {
 			rs.Corrupt++

@@ -31,6 +31,13 @@ echo "oosim serving on $addr"
 
 curl -fsS "http://$addr/healthz" | grep -qx ok
 
+# /runinfo must serve the run's provenance manifest: schema version, config
+# digest, and seed set — the live identity of what is being simulated.
+curl -fsS "http://$addr/runinfo" >"$tmp/runinfo.json"
+grep -q '"schema_version":' "$tmp/runinfo.json"
+grep -q '"config_digest":"sha256:' "$tmp/runinfo.json"
+grep -q '"seeds":' "$tmp/runinfo.json"
+
 # /metrics must be non-empty, well-formed Prometheus text exposition:
 # every line is a comment or `name{labels} value`, and the engine
 # counters must be present.

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Regression-gate smoke: replay the committed baseline sweep spec, compare
+# the fresh run against the committed baseline with `ooctl regress` (equal
+# runs must pass), then compare the committed injected-5%-latency fixture
+# (it must be caught, exit 3). Also pins report determinism, artifact
+# provenance stamping, and the -version surface of all four CLIs. CI runs
+# this via `make regress-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/oosim" ./cmd/oosim
+go build -o "$tmp/oobench" ./cmd/oobench
+go build -o "$tmp/oosweep" ./cmd/oosweep
+go build -o "$tmp/ooctl" ./cmd/ooctl
+
+# Every CLI must answer -version with its build provenance and exit 0.
+for tool in oosim oobench oosweep ooctl; do
+    "$tmp/$tool" -version | grep -q "^$tool " || { echo "$tool -version malformed"; exit 1; }
+done
+
+base=testdata/baselines/regress_base.summary.json
+inject=testdata/baselines/regress_inject.summary.json
+
+# Replay the baseline spec fresh. The sweep is deterministic, so the run
+# must reproduce the committed per-replication metrics exactly.
+"$tmp/oosweep" run -spec testdata/sweep_regress.json -out "$tmp/run" -jobs 4 -quiet
+
+# Provenance must reach every artifact of the run: the ledger leads with a
+# header line, and the summary carries the same config digest.
+head -1 "$tmp/run/ledger.jsonl" | grep -q '"kind":"header"' || { echo "ledger missing provenance header"; exit 1; }
+grep -q '"schema_version"' "$tmp/run/summary.json"
+grep -q '"config_digest"' "$tmp/run/summary.json"
+grep -q '"vcs_revision"\|"module"' "$tmp/run/summary.json"
+digest_ledger="$(head -1 "$tmp/run/ledger.jsonl" | grep -o '"config_digest":"sha256:[0-9a-f]*"' | head -1 | grep -o 'sha256:[0-9a-f]*')"
+grep -qF "\"${digest_ledger}\"" "$tmp/run/summary.json" || { echo "summary/ledger config digests disagree"; exit 1; }
+
+# Equal runs must pass the gate.
+"$tmp/ooctl" regress -baseline "$base" "$tmp/run/summary.json" >"$tmp/pass.txt"
+grep -q 'regressions=0' "$tmp/pass.txt"
+
+# The injected 5% latency shift must be caught, with exit code 3 (the
+# distinct "gate fired" code — not a tool failure).
+rc=0
+"$tmp/ooctl" regress -baseline "$base" "$inject" >"$tmp/fail.txt" || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "regress on injected fixture exited $rc, want 3"; cat "$tmp/fail.txt"; exit 1
+fi
+grep -q 'REGRESSION' "$tmp/fail.txt"
+grep -q 'fct_p50_ns' "$tmp/fail.txt"
+
+# Report determinism: identical inputs must produce identical bytes.
+"$tmp/ooctl" compare -json "$tmp/r1.json" "$base" "$inject" >/dev/null
+"$tmp/ooctl" compare -json "$tmp/r2.json" "$base" "$inject" >/dev/null
+cmp "$tmp/r1.json" "$tmp/r2.json" || { echo "compare report not deterministic"; exit 1; }
+
+# Comparing runs of different configurations must be refused (digest
+# mismatch warning, nothing aligned) rather than silently mis-aligned.
+"$tmp/oosweep" run -spec testdata/sweep_smoke.json -out "$tmp/other" -jobs 4 -quiet >/dev/null
+"$tmp/ooctl" compare "$base" "$tmp/other/summary.json" >"$tmp/mismatch.txt"
+grep -q 'aligned=0' "$tmp/mismatch.txt"
+
+echo "regress smoke OK"

@@ -44,8 +44,10 @@ if grep -q 'corrupt lines skipped' "$tmp/summary.txt"; then
 fi
 
 # The table views must render their headers over the same file.
-"$tmp/ooctl" trace flows -top 3 "$tmp/run.trace.jsonl" | grep -q 'FCT'
-"$tmp/ooctl" trace hops "$tmp/run.trace.jsonl" | grep -q 'SLICE_WAIT'
+"$tmp/ooctl" trace flows -top 3 "$tmp/run.trace.jsonl" >"$tmp/flows.txt"
+grep -q 'FCT' "$tmp/flows.txt"
+"$tmp/ooctl" trace hops "$tmp/run.trace.jsonl" >"$tmp/hops.txt"
+grep -q 'SLICE_WAIT' "$tmp/hops.txt"
 "$tmp/ooctl" trace drops "$tmp/run.trace.jsonl" >/dev/null
 
 # Perfetto export: valid Chrome trace-event JSON (strict-decoded by the
@@ -61,6 +63,10 @@ grep -q '"ph":"X"' "$tmp/export.json"
 # damage must be surfaced in the summary.
 cp "$tmp/run.trace.jsonl" "$tmp/damaged.jsonl"
 printf 'not json at all\n{"pkt_id":12,\n' >>"$tmp/damaged.jsonl"
-"$tmp/ooctl" trace summary "$tmp/damaged.jsonl" | grep -q 'corrupt lines skipped: 2'
+# (to a file, not a pipe: grep -q exiting at first match would SIGPIPE
+# the still-writing ooctl under pipefail)
+"$tmp/ooctl" trace summary "$tmp/damaged.jsonl" >"$tmp/damaged.txt"
+grep -q 'corrupt lines skipped: 2' "$tmp/damaged.txt"
+grep -q '^provenance: schema v1' "$tmp/damaged.txt"
 
 echo "trace smoke OK"
