@@ -108,8 +108,9 @@ const maxQueueCols = 8
 // renderSnapshot formats the per-switch/per-slice occupancy and drop table.
 func renderSnapshot(s *openoptics.NetSnapshot) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "t=%.3f ms  slice %d/%d  events %d  circuits %d\n",
-		float64(s.TimeNs)/1e6, s.Slice, s.NumSlices, s.Events, len(s.Optical.Circuits))
+	fmt.Fprintf(&b, "t=%.3f ms  slice %d/%d  events %d  circuits %d  epoch %d  reconfigs %d\n",
+		float64(s.TimeNs)/1e6, s.Slice, s.NumSlices, s.Events, len(s.Optical.Circuits),
+		s.Epoch, s.Reconfigs)
 
 	// Per-switch uplink occupancy summed per calendar-queue index.
 	k := 0

@@ -37,7 +37,7 @@ func main() { os.Exit(run()) }
 // including an interrupted run.
 func run() int {
 	cfgPath := flag.String("config", "", "JSON static configuration file (optional)")
-	archName := flag.String("arch", "rotornet-vlb", "architecture: clos|c-through|jupiter|mordia|rotornet-vlb|rotornet-direct|rotornet-ucmp|rotornet-hoho|opera|semi-oblivious|shale")
+	archName := flag.String("arch", "rotornet-vlb", "architecture: clos|c-through|jupiter|mordia|rotornet-vlb|rotornet-direct|rotornet-ucmp|rotornet-hoho|opera|semi-oblivious|shale|daware")
 	workload := flag.String("workload", "memcached", "workload: memcached|allreduce|iperf|udp-probe|rpc|hadoop|kv")
 	nodes := flag.Int("nodes", 8, "endpoint nodes (ignored with -config)")
 	uplink := flag.Int("uplink", 0, "uplinks per node (0 = architecture default)")
@@ -45,6 +45,16 @@ func run() int {
 	load := flag.Float64("load", 0.4, "trace replay load fraction")
 	sliceUs := flag.Int("slice-us", 100, "slice duration in µs")
 	seed := flag.Uint64("seed", 1, "seed")
+	policy := flag.String("policy", "aware", "daware scheduling policy: oblivious|aware|reqgrant")
+	predictor := flag.String("predictor", "last", "daware TM predictor: last|ewma|mean")
+	collectUs := flag.Int64("collect-us", 1000, "daware TM collection interval in µs")
+	reprogramUs := flag.Int64("reprogram-us", 0, "daware reprogram epoch in µs (0 = 2x collect interval)")
+	drainUs := flag.Int64("drain-us", 0, "daware hot-swap drain window in µs (reconfiguration cost)")
+	hotFrac := flag.Float64("hot-frac", 0, "fraction of replay flows aimed at one hotspot node")
+	hotPairs := flag.Int("hot-pairs", 0, "route the hot fraction between this many disjoint node pairs instead")
+	loadShape := flag.String("load-shape", "", "replay load shape: flat|diurnal|bursty")
+	shapePeriodMs := flag.Int("shape-period-ms", 0, "load-shape period in ms (0 = 10)")
+	shapeAmplitude := flag.Float64("shape-amplitude", 0, "load-shape swing in [0,1) (0 = 0.8)")
 	metricsOut := flag.String("metrics-out", "", "write metrics at exit (.json = JSON, else Prometheus text)")
 	traceOut := flag.String("trace-out", "", "write sampled in-band packet traces as JSONL")
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
@@ -89,7 +99,14 @@ func run() int {
 		base := cfg
 		o.Tune = func(c *openoptics.Config) { *c = base }
 	}
-	in, err := buildArch(*archName, o)
+	dc := arch.DemandConfig{
+		Policy:         *policy,
+		Predictor:      *predictor,
+		CollectEvery:   time.Duration(*collectUs) * time.Microsecond,
+		ReprogramEvery: time.Duration(*reprogramUs) * time.Microsecond,
+		DrainNs:        *drainUs * 1000,
+	}
+	in, err := buildArch(*archName, o, dc)
 	if err != nil {
 		return fail(err)
 	}
@@ -227,6 +244,19 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
+		rp.HotFrac = *hotFrac
+		rp.HotPairs = *hotPairs
+		if *loadShape != "" && *loadShape != "flat" {
+			shape := &traffic.LoadShape{
+				Kind:      *loadShape,
+				PeriodNs:  int64(*shapePeriodMs) * 1e6,
+				Amplitude: *shapeAmplitude,
+			}
+			if err := shape.Validate(); err != nil {
+				return fail(err)
+			}
+			rp.Shape = shape
+		}
 		rp.Start(int64(dur))
 		report = func() {
 			fmt.Printf("%s replay: %d flows started, FCT %s\n",
@@ -250,8 +280,13 @@ func run() int {
 		c.RxPkts, c.TxPkts, c.Delivered, c.DropsNoRoute, c.DropsBuffer,
 		c.DropsCongest, c.DropsWrap, c.SliceMisses, c.Fallbacks)
 	fab := in.Net.OpticalFabric()
-	fmt.Printf("optical fabric: forwarded=%d drops{guard=%d nocircuit=%d}\n",
-		fab.Forwarded, fab.DropsGuard, fab.DropsNoCircuit)
+	fmt.Printf("optical fabric: forwarded=%d drops{guard=%d nocircuit=%d reconfig=%d}\n",
+		fab.Forwarded, fab.DropsGuard, fab.DropsNoCircuit, fab.DropsReconfig)
+	if in.Demand != nil {
+		st := in.Demand.Stats()
+		fmt.Printf("demand: epochs=%d reconfigs=%d pred_err_ratio=%.3f coverage=%.3f\n",
+			st.Epochs, in.Net.Reconfigs(), st.PredErrRatio, st.Coverage)
+	}
 	if *profile {
 		for _, cs := range eng.ProfileStats() {
 			fmt.Printf("profile: %-16s %10d events %12.3f ms\n",
@@ -291,8 +326,10 @@ func writeMetrics(n *openoptics.Net, path string) error {
 	return n.Metrics().WritePrometheus(w)
 }
 
-func buildArch(name string, o arch.Options) (*arch.Instance, error) {
+func buildArch(name string, o arch.Options, dc arch.DemandConfig) (*arch.Instance, error) {
 	switch name {
+	case "daware":
+		return arch.DemandAware(o, dc)
 	case "clos":
 		return arch.Clos(o)
 	case "c-through":

@@ -12,6 +12,7 @@ import (
 
 	"openoptics"
 	"openoptics/internal/core"
+	"openoptics/internal/demand"
 	"openoptics/internal/routing"
 )
 
@@ -66,6 +67,9 @@ type Instance struct {
 	Reconfigure func() error
 	// ReconfigureEvery is the loop period.
 	ReconfigureEvery time.Duration
+	// Demand is the demand-aware controller when the instance runs one
+	// (DemandAware), for result harvesting; nil otherwise.
+	Demand *demand.Controller
 }
 
 // Run advances the instance by d, executing the TA control loop on its

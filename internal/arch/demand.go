@@ -1,0 +1,92 @@
+package arch
+
+import (
+	"fmt"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/core"
+	"openoptics/internal/demand"
+)
+
+// DemandConfig shapes the demand-aware control plane around an instance.
+type DemandConfig struct {
+	// Policy selects schedule synthesis: oblivious, aware, reqgrant
+	// (default aware).
+	Policy string
+	// Predictor selects TM prediction: last, ewma, mean (default last).
+	Predictor string
+	// CollectEvery is the TM collection period (default 1 ms).
+	CollectEvery time.Duration
+	// ReprogramEvery is the scheduling epoch (default 2× CollectEvery).
+	ReprogramEvery time.Duration
+	// DrainNs is the hot-swap dark window applied to changed circuits.
+	DrainNs int64
+	// History is the TM windows retained for predictors (default 16).
+	History int
+}
+
+// DemandAware builds the demand-aware TO architecture: a RotorNet-style
+// round-robin fabric with source-routed HOHO as the cold-start program,
+// plus a demand.Controller running the collect → predict → reprogram loop
+// as the instance's control callback. All policies start from the same
+// oblivious program, so measured differences come entirely from mid-run
+// hot-swaps.
+func DemandAware(o Options, dc DemandConfig) (*Instance, error) {
+	o = o.defaults()
+	if dc.Policy == "" {
+		dc.Policy = "aware"
+	}
+	if dc.Predictor == "" {
+		dc.Predictor = "last"
+	}
+	if dc.CollectEvery <= 0 {
+		dc.CollectEvery = time.Millisecond
+	}
+	if dc.ReprogramEvery <= 0 {
+		dc.ReprogramEvery = 2 * dc.CollectEvery
+	}
+	policy, err := demand.NewPolicy(dc.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("arch: daware: %w", err)
+	}
+	pred, err := demand.NewPredictor(dc.Predictor)
+	if err != nil {
+		return nil, fmt.Errorf("arch: daware: %w", err)
+	}
+	cfg := baseConfig(o)
+	n, err := buildNet(o, cfg)
+	if err != nil {
+		return nil, err
+	}
+	circuits, numSlices, err := openoptics.RoundRobin(o.Nodes, n.Cfg.Uplink)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.DeployTopo(circuits, numSlices); err != nil {
+		return nil, err
+	}
+	paths := n.HOHO(circuits, numSlices, o.Routing)
+	if err := n.DeployRouting(paths, core.LookupSource, core.MultipathNone); err != nil {
+		return nil, err
+	}
+	ctrl, err := demand.NewController(n, demand.Config{
+		CollectEvery:   dc.CollectEvery,
+		ReprogramEvery: dc.ReprogramEvery,
+		History:        dc.History,
+		Predictor:      pred,
+		Policy:         policy,
+		DrainNs:        dc.DrainNs,
+		Routing:        o.Routing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{
+		Name:             "daware-" + dc.Policy + "-" + dc.Predictor,
+		Net:              n,
+		Reconfigure:      ctrl.Tick,
+		ReconfigureEvery: dc.CollectEvery,
+		Demand:           ctrl,
+	}, nil
+}

@@ -24,6 +24,7 @@ const (
 	DropTTL       DropReason = "ttl_expired"   // forwarding loop guard
 	DropGuard     DropReason = "guardband"     // optical fabric: arrived in the reconfiguration window
 	DropNoCircuit DropReason = "no_circuit"    // optical fabric: no live circuit on the ingress port
+	DropReconfig  DropReason = "reconfig"      // optical fabric: port dark during a hot-swap drain window
 	DropElecQueue DropReason = "elec_queue"    // electrical fabric: output queue full
 	DropElecRoute DropReason = "elec_no_route" // electrical fabric: destination not attached
 )

@@ -1,0 +1,117 @@
+// The controller's end-to-end behavior is tested from an external test
+// package so it can drive the full arch.DemandAware instance (arch imports
+// demand; the test binary may close the loop).
+package demand_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"openoptics/internal/arch"
+	"openoptics/internal/traffic"
+)
+
+func driveDemand(t *testing.T, policy string, drainNs int64) *arch.Instance {
+	t.Helper()
+	in, err := arch.DemandAware(arch.Options{
+		Nodes: 8, Uplink: 1, HostsPerNode: 1, Seed: 9,
+	}, arch.DemandConfig{
+		Policy:         policy,
+		Predictor:      "last",
+		CollectEvery:   time.Millisecond,
+		ReprogramEvery: 2 * time.Millisecond,
+		DrainNs:        drainNs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := in.Net.Endpoints()
+	traffic.NewSink(eps)
+	cdf, err := traffic.ByName("rpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := traffic.NewReplay(in.Net.Engine(), eps, cdf, 0.3,
+		int64(in.Net.Cfg.LineRateGbps*1e9), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp.HotFrac = 0.6
+	rp.HotPairs = 2
+	rp.Start(int64(15 * time.Millisecond))
+	if err := in.Run(18 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestControllerAwareReprogramsMidRun(t *testing.T) {
+	in := driveDemand(t, "aware", 5_000)
+	if got := in.Net.Reconfigs(); got == 0 {
+		t.Fatal("aware policy applied no hot-swaps under skewed traffic")
+	}
+	st := in.Demand.Stats()
+	if st.Epochs == 0 {
+		t.Fatal("controller synthesized no epochs")
+	}
+	if st.Coverage <= 0 || st.Coverage > 1 {
+		t.Fatalf("coverage %g out of (0,1]", st.Coverage)
+	}
+	if in.Net.Epoch() != int(in.Net.Reconfigs()) {
+		t.Fatalf("epoch %d != reconfigs %d", in.Net.Epoch(), in.Net.Reconfigs())
+	}
+}
+
+// The oblivious policy synthesizes the installed round-robin schedule
+// every epoch, so the controller's no-op skip must keep the hot-swap count
+// at zero: the demand-oblivious baseline pays no reconfiguration cost.
+func TestControllerObliviousNeverReprograms(t *testing.T) {
+	in := driveDemand(t, "oblivious", 5_000)
+	if got := in.Net.Reconfigs(); got != 0 {
+		t.Fatalf("oblivious policy hot-swapped %d times, want 0", got)
+	}
+	if st := in.Demand.Stats(); st.Epochs == 0 {
+		t.Fatal("controller ran no epochs")
+	}
+	if drops := in.Net.OpticalFabric().DropsReconfig; drops != 0 {
+		t.Fatalf("oblivious baseline paid reconfiguration drops: %d", drops)
+	}
+}
+
+func TestControllerMetricsRegistered(t *testing.T) {
+	in := driveDemand(t, "aware", 0)
+	var buf bytes.Buffer
+	if err := in.Net.Metrics().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"oo_reconfig_total", "oo_epoch", "oo_demand_epochs_total",
+		"oo_predictor_abs_error_bytes_total", "oo_predictor_error_ratio",
+		"oo_matching_weight_coverage",
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("metric %q missing from registry export", name)
+		}
+	}
+}
+
+// Identical runs must be event-for-event identical: the control loop adds
+// no nondeterminism.
+func TestControllerDeterministic(t *testing.T) {
+	a := driveDemand(t, "reqgrant", 5_000)
+	b := driveDemand(t, "reqgrant", 5_000)
+	if a.Net.Engine().Processed != b.Net.Engine().Processed {
+		t.Fatalf("event counts diverge: %d != %d",
+			a.Net.Engine().Processed, b.Net.Engine().Processed)
+	}
+	if a.Net.Reconfigs() != b.Net.Reconfigs() {
+		t.Fatalf("reconfig counts diverge: %d != %d", a.Net.Reconfigs(), b.Net.Reconfigs())
+	}
+	sa, sb := a.Demand.Stats(), b.Demand.Stats()
+	if sa != sb {
+		t.Fatalf("stats diverge: %+v != %+v", sa, sb)
+	}
+}

@@ -1,0 +1,99 @@
+package demand
+
+import "sort"
+
+// The schedule-synthesis core: maximum-weight matchings over a symmetric
+// pairwise demand matrix, one matching per (slice, uplink) round. The
+// greedy heuristic runs in production (O(n² log n) per round, ½-optimal by
+// the classic maximal-matching bound); the exact bitmask-DP solver is the
+// test reference that pins the heuristic's quality.
+
+// MaxWeightMatchingGreedy returns one maximal matching over the symmetric
+// weight matrix w (only entries i<j are read): pairs are picked heaviest
+// first, ties broken by lexicographic (i, j), and only strictly positive
+// weights are matched. The second result is the matched weight sum.
+func MaxWeightMatchingGreedy(w [][]float64) ([][2]int, float64) {
+	n := len(w)
+	type edge struct {
+		i, j int
+		wt   float64
+	}
+	edges := make([]edge, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w[i][j] > 0 {
+				edges = append(edges, edge{i, j, w[i][j]})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].wt != edges[b].wt {
+			return edges[a].wt > edges[b].wt
+		}
+		if edges[a].i != edges[b].i {
+			return edges[a].i < edges[b].i
+		}
+		return edges[a].j < edges[b].j
+	})
+	used := make([]bool, n)
+	var out [][2]int
+	var total float64
+	for _, e := range edges {
+		if used[e.i] || used[e.j] {
+			continue
+		}
+		used[e.i], used[e.j] = true, true
+		out = append(out, [2]int{e.i, e.j})
+		total += e.wt
+	}
+	return out, total
+}
+
+// MaxWeightMatchingExact returns a maximum-weight matching over the
+// symmetric weight matrix w (entries i<j; only strictly positive weights
+// are matched) by subset DP — O(n·2ⁿ) states, the exact reference greedy
+// is validated against in tests. Practical for n ≤ ~20.
+func MaxWeightMatchingExact(w [][]float64) ([][2]int, float64) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0
+	}
+	full := 1 << n
+	best := make([]float64, full)
+	// choice[S] records the partner matched with S's lowest set bit
+	// (-1: left unmatched) for reconstruction.
+	choice := make([]int8, full)
+	for S := 1; S < full; S++ {
+		i := 0
+		for S&(1<<i) == 0 {
+			i++
+		}
+		rest := S &^ (1 << i)
+		best[S] = best[rest] // leave i unmatched
+		choice[S] = -1
+		for j := i + 1; j < n; j++ {
+			if S&(1<<j) == 0 || w[i][j] <= 0 {
+				continue
+			}
+			if v := best[rest&^(1<<j)] + w[i][j]; v > best[S] {
+				best[S] = v
+				choice[S] = int8(j)
+			}
+		}
+	}
+	var out [][2]int
+	for S := full - 1; S > 0; {
+		i := 0
+		for S&(1<<i) == 0 {
+			i++
+		}
+		j := choice[S]
+		if j < 0 {
+			S &^= 1 << i
+			continue
+		}
+		out = append(out, [2]int{i, int(j)})
+		S &^= (1 << i) | (1 << int(j))
+	}
+	return out, best[full-1]
+}

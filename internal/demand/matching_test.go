@@ -1,0 +1,123 @@
+package demand
+
+import (
+	"testing"
+
+	"openoptics/internal/sim"
+)
+
+// bruteForce enumerates every matching recursively — the ground truth the
+// DP reference is checked against on tiny instances.
+func bruteForce(w [][]float64, used uint32, i int) float64 {
+	n := len(w)
+	for i < n && used&(1<<i) != 0 {
+		i++
+	}
+	if i >= n {
+		return 0
+	}
+	best := bruteForce(w, used|1<<i, i+1) // leave i unmatched
+	for j := i + 1; j < n; j++ {
+		if used&(1<<j) != 0 || w[i][j] <= 0 {
+			continue
+		}
+		if v := w[i][j] + bruteForce(w, used|1<<i|1<<j, i+1); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+func randMatrix(rng *sim.Rand, n int, sparsity float64) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < sparsity {
+				continue
+			}
+			v := rng.Float64() * 100
+			w[i][j], w[j][i] = v, v
+		}
+	}
+	return w
+}
+
+func matchingWeight(w [][]float64, pairs [][2]int, t *testing.T) float64 {
+	t.Helper()
+	seen := make(map[int]bool)
+	var sum float64
+	for _, p := range pairs {
+		if seen[p[0]] || seen[p[1]] {
+			t.Fatalf("node reused in matching: %v", pairs)
+		}
+		seen[p[0]], seen[p[1]] = true, true
+		if w[p[0]][p[1]] <= 0 {
+			t.Fatalf("matched non-positive edge %v", p)
+		}
+		sum += w[p[0]][p[1]]
+	}
+	return sum
+}
+
+func TestExactMatchingAgainstBruteForce(t *testing.T) {
+	rng := sim.NewRand(11)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + int(rng.Uint64()%7) // 2..8 nodes
+		w := randMatrix(rng, n, 0.3)
+		pairs, got := MaxWeightMatchingExact(w)
+		if sum := matchingWeight(w, pairs, t); !close(sum, got) {
+			t.Fatalf("exact reported %g but pairs weigh %g", got, sum)
+		}
+		if want := bruteForce(w, 0, 0); !close(got, want) {
+			t.Fatalf("n=%d: exact %g != brute force %g (w=%v)", n, got, want, w)
+		}
+	}
+}
+
+// TestGreedyHalfOptimal validates the production heuristic against the
+// exact reference: greedy maximal matching is at least half the optimum
+// (the classic bound), and its structure is a valid matching.
+func TestGreedyHalfOptimal(t *testing.T) {
+	rng := sim.NewRand(23)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + int(rng.Uint64()%11) // 2..12 nodes
+		w := randMatrix(rng, n, 0.4)
+		pairs, got := MaxWeightMatchingGreedy(w)
+		if sum := matchingWeight(w, pairs, t); !close(sum, got) {
+			t.Fatalf("greedy reported %g but pairs weigh %g", got, sum)
+		}
+		_, opt := MaxWeightMatchingExact(w)
+		if got < opt/2-1e-9 {
+			t.Fatalf("greedy %g below half of optimal %g", got, opt)
+		}
+		if got > opt+1e-9 {
+			t.Fatalf("greedy %g exceeds optimal %g", got, opt)
+		}
+	}
+}
+
+func TestGreedyDeterministicTieBreak(t *testing.T) {
+	// All edges weigh the same: greedy must pick lexicographically
+	// smallest pairs, identically on every call.
+	w := [][]float64{
+		{0, 5, 5, 5},
+		{5, 0, 5, 5},
+		{5, 5, 0, 5},
+		{5, 5, 5, 0},
+	}
+	pairs, sum := MaxWeightMatchingGreedy(w)
+	if sum != 10 || len(pairs) != 2 {
+		t.Fatalf("got %v (%g), want two edges of weight 5", pairs, sum)
+	}
+	if pairs[0] != [2]int{0, 1} || pairs[1] != [2]int{2, 3} {
+		t.Fatalf("tie-break not lexicographic: %v", pairs)
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	return d < 1e-6 && d > -1e-6
+}

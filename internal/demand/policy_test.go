@@ -1,0 +1,157 @@
+package demand
+
+import (
+	"strings"
+	"testing"
+
+	"openoptics/internal/core"
+	"openoptics/internal/topo"
+)
+
+func env8() Env {
+	return Env{Nodes: 8, Uplink: 1, NumSlices: 7, SliceCapBytes: 1e6}
+}
+
+func circuitSet(cs []core.Circuit) map[core.Circuit]bool {
+	m := make(map[core.Circuit]bool, len(cs))
+	for _, c := range cs {
+		m[c.Canon()] = true
+	}
+	return m
+}
+
+func TestObliviousIsRoundRobin(t *testing.T) {
+	env := env8()
+	got, err := Oblivious{}.Synthesize(Input{}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, _, err := topo.RoundRobin(env.Nodes, env.Uplink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := circuitSet(rr)
+	if len(got) != len(rr) {
+		t.Fatalf("%d circuits, want %d", len(got), len(rr))
+	}
+	for _, c := range got {
+		if !want[c.Canon()] {
+			t.Fatalf("circuit %+v not in round-robin schedule", c)
+		}
+	}
+}
+
+// Zero demand must reproduce the round-robin schedule exactly: the epsilon
+// bias alone decides every matching, so an idle demand-aware network is
+// indistinguishable from the oblivious baseline (and the controller's
+// no-op skip keeps it from reprogramming at all).
+func TestAwareIdleFallsBackToRoundRobin(t *testing.T) {
+	env := env8()
+	got, err := Aware{}.Synthesize(Input{Predicted: core.NewTM(env.Nodes)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, _, _ := topo.RoundRobin(env.Nodes, env.Uplink)
+	want := circuitSet(rr)
+	if len(got) != len(rr) {
+		t.Fatalf("%d circuits, want %d", len(got), len(rr))
+	}
+	for _, c := range got {
+		if !want[c.Canon()] {
+			t.Fatalf("idle aware emitted non-RR circuit %+v", c)
+		}
+	}
+}
+
+// A dominant pair must earn a direct circuit in every slice.
+func TestAwareHotPairGetsEverySlice(t *testing.T) {
+	env := env8()
+	tm := core.NewTM(env.Nodes)
+	tm[0][1] = 1e12 // far above slice capacity: never satisfied
+	got, err := Aware{}.Synthesize(Input{Predicted: tm}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSlice := make(map[core.Slice]bool)
+	for _, c := range got {
+		if (c.A == 0 && c.B == 1) || (c.A == 1 && c.B == 0) {
+			perSlice[c.Slice] = true
+		}
+	}
+	if len(perSlice) != env.NumSlices {
+		t.Fatalf("hot pair connected in %d of %d slices", len(perSlice), env.NumSlices)
+	}
+}
+
+// ReqGrant must carry unsatisfied requests across epochs: a one-shot burst
+// larger than one epoch's grant keeps earning circuits in later epochs
+// with zero new traffic.
+func TestReqGrantCarryover(t *testing.T) {
+	env := env8()
+	p := &ReqGrant{}
+	burst := core.NewTM(env.Nodes)
+	burst[0][1] = 100e6 // 100 slice-capacities of backlog
+	if _, err := p.Synthesize(Input{Realized: burst}, env); err != nil {
+		t.Fatal(err)
+	}
+	// Second epoch: no new bytes, but the ledger still demands 0-1.
+	got, err := p.Synthesize(Input{Realized: core.NewTM(env.Nodes)}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var direct int
+	for _, c := range got {
+		if (c.A == 0 && c.B == 1) || (c.A == 1 && c.B == 0) {
+			direct++
+		}
+	}
+	if direct != env.NumSlices {
+		t.Fatalf("carryover gave the backlogged pair %d slices, want %d", direct, env.NumSlices)
+	}
+	// Each grant drains the ledger, so the backlog shrinks.
+	if got := p.outstanding[0][1]; got >= 100e6 {
+		t.Fatalf("outstanding not decremented: %g", got)
+	}
+}
+
+func TestPolicyRegistry(t *testing.T) {
+	for _, name := range KnownPolicies() {
+		p, err := NewPolicy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("policy %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := NewPolicy("psychic"); err == nil ||
+		!strings.Contains(err.Error(), "psychic") {
+		t.Fatalf("unknown policy error %v must name the value", err)
+	}
+}
+
+// Synthesis must be a pure function of its inputs for stateless policies:
+// two calls with the same demand yield identical circuit lists.
+func TestAwareDeterministic(t *testing.T) {
+	env := env8()
+	tm := core.NewTM(env.Nodes)
+	tm[0][5] = 3e6
+	tm[2][3] = 2e6
+	tm[6][7] = 5e6
+	a, err := Aware{}.Synthesize(Input{Predicted: tm.Clone()}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Aware{}.Synthesize(Input{Predicted: tm.Clone()}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d != %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("circuit %d differs: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package demand
+
+import (
+	"fmt"
+	"sort"
+
+	"openoptics/internal/core"
+)
+
+// Predictor estimates the next window's traffic matrix from the stream
+// history. Predict is a pure function of the stream contents (no hidden
+// state), which keeps the control loop deterministic and makes predictors
+// trivially swappable mid-experiment. A nil result means "no history yet".
+type Predictor interface {
+	Name() string
+	Predict(s *Stream) core.TM
+}
+
+// LastValue predicts the next window equals the last one — the baseline
+// every fancier predictor must beat.
+type LastValue struct{}
+
+// Name implements Predictor.
+func (LastValue) Name() string { return "last" }
+
+// Predict implements Predictor.
+func (LastValue) Predict(s *Stream) core.TM {
+	w, ok := s.Last()
+	if !ok {
+		return nil
+	}
+	return w.TM.Clone()
+}
+
+// EWMA predicts with an exponentially weighted moving average folded over
+// the retained history, oldest to newest: p ← α·w + (1−α)·p.
+type EWMA struct {
+	// Alpha is the new-window weight in (0, 1]; 0 means the 0.3 default.
+	Alpha float64
+}
+
+// Name implements Predictor.
+func (EWMA) Name() string { return "ewma" }
+
+// Predict implements Predictor.
+func (p EWMA) Predict(s *Stream) core.TM {
+	if s.Len() == 0 {
+		return nil
+	}
+	a := p.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.3
+	}
+	out := s.At(0).TM.Clone()
+	for k := 1; k < s.Len(); k++ {
+		w := s.At(k).TM
+		for i := range out {
+			for j := range out[i] {
+				out[i][j] = a*w[i][j] + (1-a)*out[i][j]
+			}
+		}
+	}
+	return out
+}
+
+// SlidingMean predicts with the arithmetic mean of the last K windows.
+type SlidingMean struct {
+	// K is the window count (0 means 4; capped at the retained history).
+	K int
+}
+
+// Name implements Predictor.
+func (SlidingMean) Name() string { return "mean" }
+
+// Predict implements Predictor.
+func (p SlidingMean) Predict(s *Stream) core.TM {
+	if s.Len() == 0 {
+		return nil
+	}
+	k := p.K
+	if k <= 0 {
+		k = 4
+	}
+	if k > s.Len() {
+		k = s.Len()
+	}
+	first := s.Len() - k
+	out := s.At(first).TM.Clone()
+	for w := first + 1; w < s.Len(); w++ {
+		tm := s.At(w).TM
+		for i := range out {
+			for j := range out[i] {
+				out[i][j] += tm[i][j]
+			}
+		}
+	}
+	inv := 1 / float64(k)
+	for i := range out {
+		for j := range out[i] {
+			out[i][j] *= inv
+		}
+	}
+	return out
+}
+
+// predictors is the registry behind NewPredictor / KnownPredictor.
+var predictors = map[string]func() Predictor{
+	"last": func() Predictor { return LastValue{} },
+	"ewma": func() Predictor { return EWMA{} },
+	"mean": func() Predictor { return SlidingMean{} },
+}
+
+// NewPredictor resolves a predictor by name: last, ewma, mean.
+func NewPredictor(name string) (Predictor, error) {
+	if mk, ok := predictors[name]; ok {
+		return mk(), nil
+	}
+	return nil, fmt.Errorf("demand: unknown predictor %q (known: %v)", name, KnownPredictors())
+}
+
+// KnownPredictor reports whether name resolves.
+func KnownPredictor(name string) bool { _, ok := predictors[name]; return ok }
+
+// KnownPredictors lists the predictor names, sorted.
+func KnownPredictors() []string {
+	out := make([]string, 0, len(predictors))
+	for k := range predictors {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

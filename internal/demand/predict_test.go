@@ -1,0 +1,105 @@
+package demand
+
+import (
+	"strings"
+	"testing"
+
+	"openoptics/internal/core"
+)
+
+func tmOf(n int, vals ...float64) core.TM {
+	tm := core.NewTM(n)
+	k := 0
+	for i := 0; i < n && k < len(vals); i++ {
+		for j := 0; j < n && k < len(vals); j++ {
+			if i == j {
+				continue
+			}
+			tm[i][j] = vals[k]
+			k++
+		}
+	}
+	return tm
+}
+
+func TestStreamRing(t *testing.T) {
+	s := NewStream(3)
+	if _, ok := s.Last(); ok {
+		t.Fatal("empty stream has a last window")
+	}
+	for k := 0; k < 5; k++ {
+		s.Push(Window{StartNs: int64(k), EndNs: int64(k + 1), TM: core.NewTM(2)})
+	}
+	if s.Len() != 3 || s.Cap() != 3 || s.Total() != 5 {
+		t.Fatalf("len=%d cap=%d total=%d, want 3/3/5", s.Len(), s.Cap(), s.Total())
+	}
+	// Retained windows are the last three pushed, oldest first.
+	for i, want := range []int64{2, 3, 4} {
+		if got := s.At(i).StartNs; got != want {
+			t.Fatalf("At(%d).StartNs=%d, want %d", i, got, want)
+		}
+	}
+	last, ok := s.Last()
+	if !ok || last.StartNs != 4 {
+		t.Fatalf("Last()=%+v ok=%v, want StartNs=4", last, ok)
+	}
+}
+
+func TestLastValuePredictor(t *testing.T) {
+	p := LastValue{}
+	if p.Predict(NewStream(4)) != nil {
+		t.Fatal("prediction from empty history, want nil")
+	}
+	s := NewStream(4)
+	s.Push(Window{TM: tmOf(2, 10)})
+	s.Push(Window{TM: tmOf(2, 30)})
+	got := p.Predict(s)
+	if got[0][1] != 30 {
+		t.Fatalf("last-value predicted %g, want 30", got[0][1])
+	}
+	// The prediction is a clone: mutating it must not corrupt history.
+	got[0][1] = 999
+	if w, _ := s.Last(); w.TM[0][1] != 30 {
+		t.Fatal("prediction aliases stream storage")
+	}
+}
+
+func TestEWMAPredictor(t *testing.T) {
+	s := NewStream(4)
+	s.Push(Window{TM: tmOf(2, 10)})
+	s.Push(Window{TM: tmOf(2, 20)})
+	got := EWMA{Alpha: 0.5}.Predict(s)
+	if want := 0.5*20 + 0.5*10; !close(got[0][1], want) {
+		t.Fatalf("ewma predicted %g, want %g", got[0][1], want)
+	}
+}
+
+func TestSlidingMeanPredictor(t *testing.T) {
+	s := NewStream(8)
+	for _, v := range []float64{10, 20, 30, 40} {
+		s.Push(Window{TM: tmOf(2, v)})
+	}
+	if got := (SlidingMean{K: 2}).Predict(s); !close(got[0][1], 35) {
+		t.Fatalf("mean(K=2) predicted %g, want 35", got[0][1])
+	}
+	// K capped at history length.
+	if got := (SlidingMean{K: 99}).Predict(s); !close(got[0][1], 25) {
+		t.Fatalf("mean(K=99) predicted %g, want 25", got[0][1])
+	}
+}
+
+func TestPredictorRegistry(t *testing.T) {
+	for _, name := range KnownPredictors() {
+		p, err := NewPredictor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("predictor %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := NewPredictor("oracle"); err == nil ||
+		!strings.Contains(err.Error(), "oracle") {
+		t.Fatalf("unknown predictor error %v must name the value", err)
+	}
+}

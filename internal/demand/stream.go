@@ -1,0 +1,76 @@
+// Package demand is the demand-aware control plane: it closes the
+// collect → predict → reprogram loop the paper's Table 1 API sketches.
+// A Controller periodically pulls windowed traffic-matrix deltas from
+// Net.Collect into a bounded Stream, runs a pluggable Predictor over the
+// history, synthesizes the next epoch's circuit schedule through a Policy
+// (demand-oblivious round-robin, greedy weighted matching, or a
+// NegotiaToR-style request-grant allocator), and hot-swaps the program
+// with Net.Reprogram under an explicit reconfiguration-cost model. Every
+// step is a pure function of the simulation state, so runs are
+// deterministic and byte-identical across worker counts.
+package demand
+
+import "openoptics/internal/core"
+
+// Window is one collected traffic-matrix delta: the bytes each node pair
+// moved (or reported pending) during [StartNs, EndNs).
+type Window struct {
+	StartNs int64
+	EndNs   int64
+	TM      core.TM
+}
+
+// Stream is a bounded ring of the most recent windows — the TM history
+// predictors read. The zero Stream is unusable; use NewStream.
+type Stream struct {
+	buf   []Window
+	n     int    // filled entries
+	next  int    // write position
+	total uint64 // windows ever pushed
+}
+
+// NewStream returns a stream retaining the last `capacity` windows
+// (minimum 1).
+func NewStream(capacity int) *Stream {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Stream{buf: make([]Window, capacity)}
+}
+
+// Push appends a window, evicting the oldest when full.
+func (s *Stream) Push(w Window) {
+	s.buf[s.next] = w
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	s.total++
+}
+
+// Len is the number of retained windows.
+func (s *Stream) Len() int { return s.n }
+
+// Cap is the ring capacity.
+func (s *Stream) Cap() int { return len(s.buf) }
+
+// Total is the number of windows ever pushed (retained or evicted).
+func (s *Stream) Total() uint64 { return s.total }
+
+// At returns the i-th retained window, 0 the oldest and Len()-1 the
+// newest. It panics outside [0, Len()).
+func (s *Stream) At(i int) Window {
+	if i < 0 || i >= s.n {
+		panic("demand: stream index out of range")
+	}
+	start := (s.next - s.n + len(s.buf)) % len(s.buf)
+	return s.buf[(start+i)%len(s.buf)]
+}
+
+// Last returns the newest window, if any.
+func (s *Stream) Last() (Window, bool) {
+	if s.n == 0 {
+		return Window{}, false
+	}
+	return s.At(s.n - 1), true
+}

@@ -49,9 +49,18 @@ type OpticalFabric struct {
 	ReconfDelay int64
 	blockUntil  int64
 
+	// dark is the set of fabric ports whose circuits changed in the most
+	// recent hot-swap (Net.Reprogram); until darkUntil, packets entering or
+	// leaving through a dark port are dropped — the drain/guard window
+	// during which affected circuits are being retuned and carry no
+	// traffic. Unaffected ports forward normally throughout.
+	dark      map[int]bool
+	darkUntil int64
+
 	// Drop counters.
 	DropsGuard     uint64
 	DropsNoCircuit uint64
+	DropsReconfig  uint64
 	Forwarded      uint64
 
 	// Tracer, when set, flushes in-band traces of sampled packets the
@@ -153,6 +162,23 @@ func (f *OpticalFabric) ApplyProgram(prog *controller.OCSProgram, sliceDur, guar
 	return f.ApplySchedule(sched)
 }
 
+// SetDark marks the given fabric ports dark until the given virtual time:
+// the reconfiguration-cost model for mid-run hot-swaps. While dark, a port
+// neither accepts nor emits packets (DropsReconfig counts both directions).
+// A later call replaces the previous dark set entirely.
+func (f *OpticalFabric) SetDark(ports []int, untilNs int64) {
+	f.dark = make(map[int]bool, len(ports))
+	for _, p := range ports {
+		f.dark[p] = true
+	}
+	f.darkUntil = untilNs
+}
+
+// portDark reports whether the port is inside a hot-swap drain window.
+func (f *OpticalFabric) portDark(port int) bool {
+	return f.darkUntil > 0 && f.eng.Now() < f.darkUntil && f.dark[port]
+}
+
 // Receive implements Device: the fabric consults its lookup table for the
 // current slice and forwards cut-through, or drops.
 func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
@@ -164,6 +190,11 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	if f.blockUntil > 0 && f.eng.Now() < f.blockUntil {
 		f.DropsGuard++ // reconfiguration blackout
 		f.traceDrop(pkt, core.DropGuard)
+		return
+	}
+	if f.portDark(int(port)) {
+		f.DropsReconfig++ // hot-swap drain window on the ingress port
+		f.traceDrop(pkt, core.DropReconfig)
 		return
 	}
 	now := f.eng.Now() + f.ClockOffset
@@ -188,6 +219,11 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	if !ok {
 		f.DropsNoCircuit++
 		f.traceDrop(pkt, core.DropNoCircuit)
+		return
+	}
+	if f.portDark(out) {
+		f.DropsReconfig++ // hot-swap drain window on the egress port
+		f.traceDrop(pkt, core.DropReconfig)
 		return
 	}
 	f.Forwarded++

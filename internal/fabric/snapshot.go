@@ -32,6 +32,7 @@ type OpticalSnapshot struct {
 	Circuits       []CircuitSnapshot `json:"circuits"`
 	DropsGuard     uint64            `json:"drops_guard"`
 	DropsNoCircuit uint64            `json:"drops_no_circuit"`
+	DropsReconfig  uint64            `json:"drops_reconfig,omitempty"`
 	Forwarded      uint64            `json:"forwarded"`
 }
 
@@ -41,6 +42,7 @@ func (f *OpticalFabric) Snapshot() OpticalSnapshot {
 	snap := OpticalSnapshot{Slice: core.WildcardSlice}
 	snap.DropsGuard = f.DropsGuard
 	snap.DropsNoCircuit = f.DropsNoCircuit
+	snap.DropsReconfig = f.DropsReconfig
 	snap.Forwarded = f.Forwarded
 	if f.sched == nil {
 		return snap

@@ -22,6 +22,10 @@ type Signals struct {
 	Drops          uint64 `json:"drops"`
 	CongestionHits uint64 `json:"congestion_hits"`
 	MaxEQOErrBytes int64  `json:"max_eqo_err_bytes"`
+	// Reconfigs is the cumulative schedule hot-swap count at sample time,
+	// so dump analysis can attribute a drop/congestion anomaly to the
+	// reconfiguration that preceded it.
+	Reconfigs uint64 `json:"reconfigs,omitempty"`
 }
 
 // Sample is one per-slice flight-recorder record.

@@ -91,6 +91,13 @@ type RepMetrics struct {
 	CompQueueingNs      int64  `json:"comp_queueing_ns,omitempty"`
 	CompSerializationNs int64  `json:"comp_serialization_ns,omitempty"`
 	CompPropagationNs   int64  `json:"comp_propagation_ns,omitempty"`
+
+	// Demand-aware control-plane metrics, present for daware jobs.
+	Reconfigs     uint64  `json:"reconfigs,omitempty"`
+	ReconfigDrops uint64  `json:"reconfig_drops,omitempty"`
+	DemandEpochs  uint64  `json:"demand_epochs,omitempty"`
+	PredErrRatio  float64 `json:"pred_err_ratio,omitempty"`
+	Coverage      float64 `json:"coverage,omitempty"`
 }
 
 // NewAggregate builds the deterministic aggregate from raw ledger records.
@@ -147,6 +154,12 @@ func NewAggregate(name string, recs []Record) *Aggregate {
 			CompQueueingNs:      res.CompQueueingNs,
 			CompSerializationNs: res.CompSerializationNs,
 			CompPropagationNs:   res.CompPropagationNs,
+
+			Reconfigs:     res.Reconfigs,
+			ReconfigDrops: res.ReconfigDrops,
+			DemandEpochs:  res.DemandEpochs,
+			PredErrRatio:  res.PredErrRatio,
+			Coverage:      res.Coverage,
 		}
 		if r.Scenario != nil {
 			rep.Rep = r.Scenario.Rep
@@ -176,6 +189,8 @@ var csvHeader = []string{
 	"status", "error", "flows", "events",
 	"fct_n", "fct_mean_ns", "fct_p50_ns", "fct_p95_ns", "fct_p99_ns", "fct_max_ns",
 	"buf_p999_bytes", "buf_max_bytes", "parked",
+	"policy", "predictor", "reconfigs", "reconfig_drops", "demand_epochs",
+	"pred_err_ratio", "coverage",
 }
 
 // WriteCSV renders the per-job table. Floats use the shortest exact
@@ -204,6 +219,11 @@ func (a *Aggregate) WriteCSV(w io.Writer) error {
 			g(res.FCTP95Ns), g(res.FCTP99Ns), g(res.FCTMaxNs),
 			g(res.BufP999Bytes), g(res.BufMaxBytes),
 			strconv.FormatUint(res.Parked, 10),
+			sc.Policy, sc.Predictor,
+			strconv.FormatUint(res.Reconfigs, 10),
+			strconv.FormatUint(res.ReconfigDrops, 10),
+			strconv.FormatUint(res.DemandEpochs, 10),
+			g(res.PredErrRatio), g(res.Coverage),
 		}
 		b.WriteString(strings.Join(row, ","))
 		b.WriteByte('\n')

@@ -37,6 +37,20 @@ type Scenario struct {
 	MaxHop          int     `json:"max_hop,omitempty"`
 	Profile         string  `json:"profile"`
 	TraceSample     float64 `json:"trace_sample,omitempty"`
+
+	// Demand-aware control-plane point (daware architecture only).
+	Policy            string `json:"policy,omitempty"`
+	Predictor         string `json:"predictor,omitempty"`
+	CollectIntervalUs int64  `json:"collect_interval_us,omitempty"`
+	ReconfigPeriodUs  int64  `json:"reconfig_period_us,omitempty"`
+	ReconfigDrainUs   int64  `json:"reconfig_drain_us,omitempty"`
+
+	// Workload shaping (all architectures).
+	HotFrac        float64 `json:"hot_frac,omitempty"`
+	HotPairs       int     `json:"hot_pairs,omitempty"`
+	LoadShape      string  `json:"load_shape,omitempty"`
+	ShapePeriodMs  int     `json:"shape_period_ms,omitempty"`
+	ShapeAmplitude float64 `json:"shape_amplitude,omitempty"`
 }
 
 // ConfigDigest is the canonical-JSON SHA-256 of the scenario with its
@@ -54,6 +68,13 @@ func (sc Scenario) id() string {
 	name := sc.Arch
 	if sc.Routing != "" {
 		name += "-" + sc.Routing
+	}
+	if sc.Arch == "daware" {
+		// The control-plane point is part of the daware job identity; the
+		// extended segments keep every other architecture's IDs unchanged.
+		name += "-" + sc.Policy + "-" + sc.Predictor
+		return fmt.Sprintf("%s/n%d/%s/l%.2f/ci%d/rp%d/r%d",
+			name, sc.Nodes, sc.Trace, sc.Load, sc.CollectIntervalUs, sc.ReconfigPeriodUs, sc.Rep)
 	}
 	return fmt.Sprintf("%s/n%d/%s/l%.2f/r%d", name, sc.Nodes, sc.Trace, sc.Load, sc.Rep)
 }
@@ -114,6 +135,15 @@ type Result struct {
 	CompQueueingNs      int64  `json:"comp_queueing_ns,omitempty"`
 	CompSerializationNs int64  `json:"comp_serialization_ns,omitempty"`
 	CompPropagationNs   int64  `json:"comp_propagation_ns,omitempty"`
+
+	// Demand-aware control-plane measurement (daware architecture only).
+	Reconfigs     uint64 `json:"reconfigs,omitempty"`
+	ReconfigDrops uint64 `json:"reconfig_drops,omitempty"`
+	DemandEpochs  uint64 `json:"demand_epochs,omitempty"`
+	// PredErrRatio is the predictor's cumulative L1 error over actual
+	// bytes; Coverage the last epoch's matching-weight coverage.
+	PredErrRatio float64 `json:"pred_err_ratio,omitempty"`
+	Coverage     float64 `json:"coverage,omitempty"`
 }
 
 // ErrTimeout marks a job attempt that exceeded its wall-clock budget. It
@@ -166,6 +196,15 @@ func (sc Scenario) Run(opt RunOpts) (*Result, error) {
 		return nil, fmt.Errorf("runner: %s: %w", sc.ID, err)
 	}
 	rp.OpenLoop = sc.Profile == ProfileBuffer
+	rp.HotFrac = sc.HotFrac
+	rp.HotPairs = sc.HotPairs
+	if sc.LoadShape != "" && sc.LoadShape != "flat" {
+		rp.Shape = &traffic.LoadShape{
+			Kind:      sc.LoadShape,
+			PeriodNs:  int64(sc.ShapePeriodMs) * 1e6,
+			Amplitude: sc.ShapeAmplitude,
+		}
+	}
 	rp.Start(int64(dur))
 
 	var deadline time.Time
@@ -193,6 +232,14 @@ func (sc Scenario) Run(opt RunOpts) (*Result, error) {
 	}
 	for _, h := range in.Net.Hosts() {
 		res.Parked += h.Counters.Parked
+	}
+	res.Reconfigs = in.Net.Reconfigs()
+	res.ReconfigDrops = in.Net.OpticalFabric().DropsReconfig
+	if in.Demand != nil {
+		st := in.Demand.Stats()
+		res.DemandEpochs = st.Epochs
+		res.PredErrRatio = st.PredErrRatio
+		res.Coverage = st.Coverage
 	}
 	if tracer != nil {
 		ts := tracer.Stats()
@@ -245,6 +292,14 @@ func (sc Scenario) build() (*arch.Instance, error) {
 		return arch.Opera(o)
 	case "semioblivious":
 		return arch.SemiOblivious(o)
+	case "daware":
+		return arch.DemandAware(o, arch.DemandConfig{
+			Policy:         sc.Policy,
+			Predictor:      sc.Predictor,
+			CollectEvery:   time.Duration(sc.CollectIntervalUs) * time.Microsecond,
+			ReprogramEvery: time.Duration(sc.ReconfigPeriodUs) * time.Microsecond,
+			DrainNs:        sc.ReconfigDrainUs * 1000,
+		})
 	case "rotornet":
 		scheme := arch.SchemeVLB
 		switch sc.Routing {

@@ -17,7 +17,9 @@ import (
 	"os"
 	"sort"
 
+	"openoptics/internal/demand"
 	"openoptics/internal/provenance"
+	"openoptics/internal/traffic"
 )
 
 // Profiles select what a job measures.
@@ -40,7 +42,7 @@ type Spec struct {
 	Name string `json:"name"`
 
 	// Architectures to instantiate: clos, cthrough, jupiter, mordia,
-	// rotornet, opera, semioblivious.
+	// rotornet, opera, semioblivious, daware.
 	Architectures []string `json:"architectures"`
 	// Routings apply to the rotornet architecture only (vlb, vlb+offload,
 	// direct, ucmp, hoho); other architectures use their native routing
@@ -53,6 +55,38 @@ type Spec struct {
 	// Loads lists offered loads as fractions of aggregate host rate in
 	// (0, 1]. Default [0.3].
 	Loads []float64 `json:"loads,omitempty"`
+
+	// Policies applies to the daware architecture only: schedule-synthesis
+	// policies (oblivious, aware, reqgrant); other architectures collapse
+	// the axis. Default ["aware"].
+	Policies []string `json:"policies,omitempty"`
+	// Predictors applies to the daware architecture only: TM predictors
+	// (last, ewma, mean). Default ["last"].
+	Predictors []string `json:"predictors,omitempty"`
+	// CollectIntervalsUs applies to the daware architecture only: TM
+	// collection periods in µs. Default [1000].
+	CollectIntervalsUs []int64 `json:"collect_intervals_us,omitempty"`
+	// ReconfigPeriodsUs applies to the daware architecture only:
+	// scheduling-epoch lengths in µs (0 = 2× the collect interval).
+	// Default [0].
+	ReconfigPeriodsUs []int64 `json:"reconfig_periods_us,omitempty"`
+	// ReconfigDrainUs is the daware hot-swap drain window in µs: changed
+	// circuits' fabric ports drop packets for this long after a swap.
+	ReconfigDrainUs int64 `json:"reconfig_drain_us,omitempty"`
+
+	// HotFrac routes this fraction of workload flows to one hotspot node,
+	// skewing the TM (0 = uniform).
+	HotFrac float64 `json:"hot_frac,omitempty"`
+	// HotPairs, when > 0, redirects the HotFrac flows between disjoint
+	// node pairs (0,1), (2,3), … instead of in-casting on one node.
+	HotPairs int `json:"hot_pairs,omitempty"`
+	// LoadShape modulates arrival rate over time: "", flat, diurnal,
+	// bursty.
+	LoadShape string `json:"load_shape,omitempty"`
+	// ShapePeriodMs is the load-shape period in ms (0 = 10 ms).
+	ShapePeriodMs int `json:"shape_period_ms,omitempty"`
+	// ShapeAmplitude is the load-shape swing in [0, 1) (0 = 0.8).
+	ShapeAmplitude float64 `json:"shape_amplitude,omitempty"`
 
 	// DurationMs is the measured window of virtual time. Default 20.
 	DurationMs int `json:"duration_ms,omitempty"`
@@ -91,11 +125,28 @@ type Spec struct {
 
 var knownArchs = map[string]bool{
 	"clos": true, "cthrough": true, "jupiter": true, "mordia": true,
-	"rotornet": true, "opera": true, "semioblivious": true,
+	"rotornet": true, "opera": true, "semioblivious": true, "daware": true,
 }
 
 var knownRoutings = map[string]bool{
 	"vlb": true, "vlb+offload": true, "direct": true, "ucmp": true, "hoho": true,
+}
+
+// known renders a known-value map as a sorted list for error messages.
+func known(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// axisErr is the uniform rejection for unknown axis values: it names the
+// spec key and the offending value, so a typo in a sweep file is
+// diagnosable from the error alone.
+func axisErr(key, value string, knownVals []string) error {
+	return fmt.Errorf("runner: spec axis %q: unknown value %q (known: %v)", key, value, knownVals)
 }
 
 // LoadSpec reads and validates a sweep spec from a JSON file.
@@ -148,39 +199,102 @@ func (s Spec) withDefaults() Spec {
 	if s.Replications <= 0 {
 		s.Replications = 1
 	}
+	// The daware axes default only when the daware architecture is in the
+	// grid: filling them unconditionally would change the resolved form —
+	// and so the config digest — of every pre-existing spec.
+	if s.hasArch("daware") {
+		if len(s.Policies) == 0 {
+			s.Policies = []string{"aware"}
+		}
+		if len(s.Predictors) == 0 {
+			s.Predictors = []string{"last"}
+		}
+		if len(s.CollectIntervalsUs) == 0 {
+			s.CollectIntervalsUs = []int64{1000}
+		}
+		if len(s.ReconfigPeriodsUs) == 0 {
+			s.ReconfigPeriodsUs = []int64{0}
+		}
+	}
 	return s
 }
 
-// Validate rejects specs that would expand into unrunnable jobs.
+func (s Spec) hasArch(name string) bool {
+	for _, a := range s.Architectures {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate rejects specs that would expand into unrunnable jobs. Unknown
+// axis values fail with an error naming the spec key and the offending
+// value.
 func (s *Spec) Validate() error {
 	if len(s.Architectures) == 0 {
 		return fmt.Errorf("runner: spec has no architectures")
 	}
 	for _, a := range s.Architectures {
 		if !knownArchs[a] {
-			return fmt.Errorf("runner: unknown architecture %q", a)
+			return axisErr("architectures", a, known(knownArchs))
 		}
 	}
 	for _, r := range s.Routings {
 		if !knownRoutings[r] {
-			return fmt.Errorf("runner: unknown routing %q", r)
+			return axisErr("routings", r, known(knownRoutings))
+		}
+	}
+	for _, tr := range s.Traces {
+		if _, err := traffic.ByName(tr); err != nil {
+			return axisErr("traces", tr, traffic.KnownTraces())
 		}
 	}
 	for _, n := range s.Nodes {
 		if n < 2 {
-			return fmt.Errorf("runner: node count %d < 2", n)
+			return fmt.Errorf("runner: spec axis %q: node count %d < 2", "nodes", n)
 		}
 	}
 	for _, l := range s.Loads {
 		if l <= 0 || l > 1 {
-			return fmt.Errorf("runner: load %g out of (0,1]", l)
+			return fmt.Errorf("runner: spec axis %q: load %g out of (0,1]", "loads", l)
+		}
+	}
+	for _, p := range s.Policies {
+		if !demand.KnownPolicy(p) {
+			return axisErr("policies", p, demand.KnownPolicies())
+		}
+	}
+	for _, p := range s.Predictors {
+		if !demand.KnownPredictor(p) {
+			return axisErr("predictors", p, demand.KnownPredictors())
+		}
+	}
+	for _, ci := range s.CollectIntervalsUs {
+		if ci <= 0 {
+			return fmt.Errorf("runner: spec axis %q: interval %d must be positive", "collect_intervals_us", ci)
+		}
+	}
+	for _, rp := range s.ReconfigPeriodsUs {
+		if rp < 0 {
+			return fmt.Errorf("runner: spec axis %q: period %d must be >= 0", "reconfig_periods_us", rp)
 		}
 	}
 	if s.Profile != "" && s.Profile != ProfileFCT && s.Profile != ProfileBuffer {
-		return fmt.Errorf("runner: unknown profile %q (want fct|buffer)", s.Profile)
+		return axisErr("profile", s.Profile, []string{ProfileBuffer, ProfileFCT})
 	}
-	if s.Replications < 0 || s.Retries < 0 || s.TimeoutMs < 0 || s.DurationMs < 0 {
-		return fmt.Errorf("runner: negative replications/retries/timeout/duration")
+	if !traffic.KnownLoadShape(s.LoadShape) {
+		return axisErr("load_shape", s.LoadShape, []string{"bursty", "diurnal", "flat"})
+	}
+	if s.ShapeAmplitude < 0 || s.ShapeAmplitude >= 1 {
+		return fmt.Errorf("runner: spec key %q: amplitude %g out of [0,1)", "shape_amplitude", s.ShapeAmplitude)
+	}
+	if s.HotFrac < 0 || s.HotFrac >= 1 {
+		return fmt.Errorf("runner: spec key %q: fraction %g out of [0,1)", "hot_frac", s.HotFrac)
+	}
+	if s.Replications < 0 || s.Retries < 0 || s.TimeoutMs < 0 || s.DurationMs < 0 ||
+		s.ReconfigDrainUs < 0 || s.ShapePeriodMs < 0 || s.HotPairs < 0 {
+		return fmt.Errorf("runner: negative replications/retries/timeout/duration/drain/period/pairs")
 	}
 	if s.TraceSample < 0 || s.TraceSample > 1 {
 		return fmt.Errorf("runner: trace_sample %g out of [0,1]", s.TraceSample)
@@ -215,24 +329,52 @@ func (s *Spec) Expand() []Job {
 			// collapse the axis to their native routing.
 			routings = []string{""}
 		}
+		// The control-plane axes apply to daware only; other architectures
+		// collapse them so their job identities stay unchanged.
+		policies, predictors := []string{""}, []string{""}
+		collects, reconfigs := []int64{0}, []int64{0}
+		if a == "daware" {
+			policies, predictors = d.Policies, d.Predictors
+			collects, reconfigs = d.CollectIntervalsUs, d.ReconfigPeriodsUs
+		}
 		for _, rt := range routings {
-			for _, n := range d.Nodes {
-				for _, tr := range d.Traces {
-					for _, l := range d.Loads {
-						for rep := 0; rep < d.Replications; rep++ {
-							sc := Scenario{
-								Arch: a, Routing: rt, Nodes: n, Trace: tr,
-								Load: l, Rep: rep,
-								DurationMs:      d.DurationMs,
-								SliceDurationNs: d.SliceDurationNs,
-								Uplink:          d.Uplink,
-								MaxHop:          d.MaxHop,
-								Profile:         d.Profile,
-								TraceSample:     d.TraceSample,
+			for _, po := range policies {
+				for _, pr := range predictors {
+					for _, ci := range collects {
+						for _, rp := range reconfigs {
+							for _, n := range d.Nodes {
+								for _, tr := range d.Traces {
+									for _, l := range d.Loads {
+										for rep := 0; rep < d.Replications; rep++ {
+											sc := Scenario{
+												Arch: a, Routing: rt, Nodes: n, Trace: tr,
+												Load: l, Rep: rep,
+												DurationMs:      d.DurationMs,
+												SliceDurationNs: d.SliceDurationNs,
+												Uplink:          d.Uplink,
+												MaxHop:          d.MaxHop,
+												Profile:         d.Profile,
+												TraceSample:     d.TraceSample,
+												Policy:          po,
+												Predictor:       pr,
+												CollectIntervalUs: ci,
+												ReconfigPeriodUs:  rp,
+												HotFrac:        d.HotFrac,
+												HotPairs:       d.HotPairs,
+												LoadShape:      d.LoadShape,
+												ShapePeriodMs:  d.ShapePeriodMs,
+												ShapeAmplitude: d.ShapeAmplitude,
+											}
+											if a == "daware" {
+												sc.ReconfigDrainUs = d.ReconfigDrainUs
+											}
+											sc.ID = sc.id()
+											sc.Seed = jobSeed(d.Seed, sc.ID)
+											jobs = append(jobs, Job{ID: sc.ID, Seq: len(jobs), Scenario: sc})
+										}
+									}
+								}
 							}
-							sc.ID = sc.id()
-							sc.Seed = jobSeed(d.Seed, sc.ID)
-							jobs = append(jobs, Job{ID: sc.ID, Seq: len(jobs), Scenario: sc})
 						}
 					}
 				}

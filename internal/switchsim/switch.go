@@ -213,6 +213,7 @@ type Switch struct {
 
 	cp      *ControlPlane
 	tm      core.TM // per-destination-node byte counts since last collect
+	tmTotal core.TM // collected windows folded in at every CollectTM
 	n       int     // node count for the TM
 	taPeers map[core.NodeID]bool
 
@@ -347,6 +348,7 @@ func New(eng *sim.Engine, cfg Config, nodeCount int) *Switch {
 		downByHost: make(map[core.HostID]*outPort),
 		n:          nodeCount,
 		tm:         core.NewTM(nodeCount),
+		tmTotal:    core.NewTM(nodeCount),
 		taPeers:    make(map[core.NodeID]bool),
 		bufferHist: stats.NewHistogram(1024, 64<<20),
 	}
@@ -817,11 +819,31 @@ func (s *Switch) BWUsage(port core.PortID) uint64 {
 	return 0
 }
 
-// CollectTM returns and resets the per-destination traffic matrix row
-// tracked for this switch (the collect() API's switch-side path).
+// CollectTM returns the per-destination traffic matrix *window* tracked
+// since the previous CollectTM — delta, not cumulative, semantics (the
+// collect() API's switch-side path). The returned window is folded into
+// the cumulative matrix before the tracker resets, so consecutive windows
+// always sum to CumulativeTM.
 func (s *Switch) CollectTM() core.TM {
 	out := s.tm
+	for i := range out {
+		for j := range out[i] {
+			s.tmTotal[i][j] += out[i][j]
+		}
+	}
 	s.tm = core.NewTM(s.n)
+	return out
+}
+
+// CumulativeTM returns the all-time traffic matrix: every window CollectTM
+// has returned plus the still-open one. It copies and never resets.
+func (s *Switch) CumulativeTM() core.TM {
+	out := s.tmTotal.Clone()
+	for i := range s.tm {
+		for j := range s.tm[i] {
+			out[i][j] += s.tm[i][j]
+		}
+	}
 	return out
 }
 

@@ -82,6 +82,13 @@ type Replay struct {
 	HotFrac float64
 	// HotNode is the hotspot ToR (default node 0).
 	HotNode core.NodeID
+	// HotPairs, when > 0, redirects the HotFrac flows to run between the
+	// disjoint node pairs (0,1), (2,3), … (HotPairs of them) instead of
+	// in-casting on HotNode: a skewed pairwise TM rather than a single
+	// bottleneck — the shape demand-aware circuit scheduling exploits.
+	HotPairs int
+	// Shape modulates the arrival rate over time (nil = constant load).
+	Shape *LoadShape
 	// OpenLoop replays flows as paced UDP datagrams with no congestion
 	// control — the methodology for buffer and loss studies (Table 3/4),
 	// where closed-loop TCP would throttle itself and hide the effect
@@ -121,20 +128,32 @@ func (r *Replay) Start(duration int64) {
 			return
 		}
 		r.launch()
-		gap := int64(r.rng.Exp(r.meanGapNs))
+		gap := r.gap()
 		if gap < 1 {
 			gap = 1
 		}
 		r.eng.After(gap, arrive)
 	}
-	r.eng.After(int64(r.rng.Exp(r.meanGapNs)), arrive)
+	r.eng.After(r.gap(), arrive)
+}
+
+// gap draws the next exponential inter-arrival, with the mean scaled down
+// by the load shape's current rate factor.
+func (r *Replay) gap() int64 {
+	mean := r.meanGapNs
+	if f := r.Shape.Factor(r.eng.Now()); f > 0 {
+		mean /= f
+	}
+	return int64(r.rng.Exp(mean))
 }
 
 func (r *Replay) launch() {
 	si := r.rng.Intn(len(r.eps))
 	src := r.eps[si]
 	var dst Endpoint
-	if hot := r.hotEndpoint(src); hot != nil {
+	if s, d, ok := r.hotPair(); ok {
+		src, dst = s, d
+	} else if hot := r.hotEndpoint(src); hot != nil {
 		dst = *hot
 	} else {
 		for tries := 0; ; tries++ {
@@ -184,12 +203,39 @@ func (r *Replay) launch() {
 // hotEndpoint picks an in-cast destination under the hot node, or nil for
 // a uniform draw.
 func (r *Replay) hotEndpoint(src Endpoint) *Endpoint {
-	if r.HotFrac <= 0 || r.rng.Float64() >= r.HotFrac || src.Node == r.HotNode {
+	// HotPairs > 0 replaces in-cast skew with pair skew; hotPair already
+	// rolled the hot/uniform dice for this flow.
+	if r.HotPairs > 0 || r.HotFrac <= 0 || r.rng.Float64() >= r.HotFrac || src.Node == r.HotNode {
 		return nil
 	}
+	return r.underNode(r.HotNode)
+}
+
+// hotPair draws a hot-pair flow: with probability HotFrac the flow runs
+// between a host under node 2k and one under node 2k+1 for a uniformly
+// chosen pair k < HotPairs, direction randomized.
+func (r *Replay) hotPair() (src, dst Endpoint, ok bool) {
+	if r.HotPairs <= 0 || r.HotFrac <= 0 || r.rng.Float64() >= r.HotFrac {
+		return Endpoint{}, Endpoint{}, false
+	}
+	k := r.rng.Intn(r.HotPairs)
+	a, b := core.NodeID(2*k), core.NodeID(2*k+1)
+	if r.rng.Intn(2) == 1 {
+		a, b = b, a
+	}
+	sa, sb := r.underNode(a), r.underNode(b)
+	if sa == nil || sb == nil {
+		// Pair beyond the deployed node count: fall back to uniform.
+		return Endpoint{}, Endpoint{}, false
+	}
+	return *sa, *sb, true
+}
+
+// underNode picks a uniform endpoint under the given node (nil if none).
+func (r *Replay) underNode(node core.NodeID) *Endpoint {
 	var under []int
 	for i, ep := range r.eps {
-		if ep.Node == r.HotNode {
+		if ep.Node == node {
 			under = append(under, i)
 		}
 	}

@@ -138,3 +138,6 @@ func ByName(name string) (*SizeCDF, error) {
 	}
 	return nil, fmt.Errorf("traffic: unknown trace %q (want kv|rpc|hadoop)", name)
 }
+
+// KnownTraces lists the canonical trace labels ByName resolves.
+func KnownTraces() []string { return []string{"hadoop", "kv", "rpc"} }

@@ -1,0 +1,70 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+)
+
+// LoadShape modulates a replay's arrival rate over virtual time, so
+// demand-aware control loops face the non-stationary traffic they exist
+// for. Factor(t) multiplies the instantaneous arrival rate; every shape
+// averages to 1 over a whole period, so the configured load is preserved
+// in expectation.
+type LoadShape struct {
+	// Kind selects the shape: "" or "flat" (constant), "diurnal"
+	// (sinusoidal day/night swing), "bursty" (square-wave on/off bursts).
+	Kind string
+	// PeriodNs is the modulation period (default 10 ms of virtual time —
+	// a scaled-down stand-in for diurnal cycles).
+	PeriodNs int64
+	// Amplitude is the swing in [0, 1): diurnal rate varies in
+	// [1−A, 1+A]; bursty alternates between 1+A and 1−A (default 0.8).
+	Amplitude float64
+}
+
+// KnownLoadShape reports whether kind names a shape.
+func KnownLoadShape(kind string) bool {
+	switch kind {
+	case "", "flat", "diurnal", "bursty":
+		return true
+	}
+	return false
+}
+
+// Validate rejects unknown kinds and out-of-range amplitudes.
+func (s *LoadShape) Validate() error {
+	if !KnownLoadShape(s.Kind) {
+		return fmt.Errorf("traffic: unknown load shape %q (known: flat, diurnal, bursty)", s.Kind)
+	}
+	if s.Amplitude < 0 || s.Amplitude >= 1 {
+		return fmt.Errorf("traffic: load shape amplitude %g out of [0, 1)", s.Amplitude)
+	}
+	return nil
+}
+
+// Factor returns the arrival-rate multiplier at virtual time now (always
+// positive; 1 for flat shapes or a nil receiver).
+func (s *LoadShape) Factor(now int64) float64 {
+	if s == nil || s.Kind == "" || s.Kind == "flat" {
+		return 1
+	}
+	period := s.PeriodNs
+	if period <= 0 {
+		period = 10_000_000 // 10 ms
+	}
+	amp := s.Amplitude
+	if amp <= 0 {
+		amp = 0.8
+	}
+	phase := float64(now%period) / float64(period)
+	switch s.Kind {
+	case "diurnal":
+		return 1 + amp*math.Sin(2*math.Pi*phase)
+	case "bursty":
+		if phase < 0.5 {
+			return 1 + amp
+		}
+		return 1 - amp
+	}
+	return 1
+}

@@ -1,0 +1,159 @@
+package traffic
+
+import (
+	"strings"
+	"testing"
+
+	"openoptics/internal/core"
+	"openoptics/internal/sim"
+)
+
+func TestLoadShapeFactorFlat(t *testing.T) {
+	var nilShape *LoadShape
+	for _, now := range []int64{0, 1_000_000, 7_777_777} {
+		if f := nilShape.Factor(now); f != 1 {
+			t.Fatalf("nil shape factor %g at %d, want 1", f, now)
+		}
+		if f := (&LoadShape{}).Factor(now); f != 1 {
+			t.Fatalf("zero-value shape factor %g at %d, want 1", f, now)
+		}
+		if f := (&LoadShape{Kind: "flat", Amplitude: 0.9}).Factor(now); f != 1 {
+			t.Fatalf("flat shape factor %g at %d, want 1", f, now)
+		}
+	}
+}
+
+func TestLoadShapeDiurnal(t *testing.T) {
+	s := &LoadShape{Kind: "diurnal", PeriodNs: 1_000_000, Amplitude: 0.5}
+	var sum float64
+	const steps = 1000
+	for k := 0; k < steps; k++ {
+		f := s.Factor(int64(k) * s.PeriodNs / steps)
+		if f < 1-s.Amplitude-1e-9 || f > 1+s.Amplitude+1e-9 {
+			t.Fatalf("diurnal factor %g outside [1-A, 1+A]", f)
+		}
+		sum += f
+	}
+	// The sinusoid averages to 1 over a whole period, so the configured
+	// mean load is preserved.
+	if mean := sum / steps; mean < 0.999 || mean > 1.001 {
+		t.Fatalf("diurnal mean factor %g, want ~1", mean)
+	}
+	// Peak near quarter period, trough near three quarters.
+	if up := s.Factor(s.PeriodNs / 4); up < 1.49 {
+		t.Fatalf("diurnal peak %g, want ~1.5", up)
+	}
+	if down := s.Factor(3 * s.PeriodNs / 4); down > 0.51 {
+		t.Fatalf("diurnal trough %g, want ~0.5", down)
+	}
+}
+
+func TestLoadShapeBursty(t *testing.T) {
+	s := &LoadShape{Kind: "bursty", PeriodNs: 1_000_000, Amplitude: 0.6}
+	if f := s.Factor(s.PeriodNs / 4); f != 1.6 {
+		t.Fatalf("burst-on factor %g, want 1.6", f)
+	}
+	if f := s.Factor(3 * s.PeriodNs / 4); !closeF(f, 0.4) {
+		t.Fatalf("burst-off factor %g, want 0.4", f)
+	}
+	// Defaults kick in for zero period/amplitude.
+	d := &LoadShape{Kind: "bursty"}
+	if f := d.Factor(1_000_000); f != 1.8 {
+		t.Fatalf("default-amplitude burst factor %g, want 1.8", f)
+	}
+}
+
+func TestLoadShapeValidate(t *testing.T) {
+	for _, kind := range []string{"", "flat", "diurnal", "bursty"} {
+		if err := (&LoadShape{Kind: kind, Amplitude: 0.5}).Validate(); err != nil {
+			t.Fatalf("shape %q rejected: %v", kind, err)
+		}
+	}
+	if err := (&LoadShape{Kind: "sawtooth"}).Validate(); err == nil ||
+		!strings.Contains(err.Error(), "sawtooth") {
+		t.Fatalf("unknown kind error %v must name the value", err)
+	}
+	if err := (&LoadShape{Kind: "diurnal", Amplitude: 1.0}).Validate(); err == nil {
+		t.Fatal("amplitude 1.0 accepted, want error")
+	}
+	if err := (&LoadShape{Kind: "diurnal", Amplitude: -0.1}).Validate(); err == nil {
+		t.Fatal("negative amplitude accepted, want error")
+	}
+}
+
+func pairReplay(t *testing.T, nodes, hotPairs int, hotFrac float64) *Replay {
+	t.Helper()
+	eps := make([]Endpoint, nodes)
+	for i := range eps {
+		eps[i] = Endpoint{Host: core.HostID(i), Node: core.NodeID(i)}
+	}
+	r, err := NewReplay(sim.New(), eps, RPC(), 0.5, 100e9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.HotFrac = hotFrac
+	r.HotPairs = hotPairs
+	return r
+}
+
+// With HotFrac=1 every flow is a hot-pair flow, and each one must run
+// between nodes 2k and 2k+1 for some pair k < HotPairs.
+func TestReplayHotPairsRestrictFlows(t *testing.T) {
+	r := pairReplay(t, 8, 2, 1.0)
+	seen := make(map[[2]int]int)
+	for i := 0; i < 2000; i++ {
+		src, dst, ok := r.hotPair()
+		if !ok {
+			t.Fatal("HotFrac=1 flow escaped hot-pair selection")
+		}
+		a, b := int(src.Node), int(dst.Node)
+		if a > b {
+			a, b = b, a
+		}
+		if b != a+1 || a%2 != 0 || a/2 >= 2 {
+			t.Fatalf("flow %d-%d is not one of the %d hot pairs", src.Node, dst.Node, 2)
+		}
+		seen[[2]int{a, b}]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("only pairs %v drawn, want both hot pairs used", seen)
+	}
+}
+
+// Hot pairs beyond the deployed node count fall back to uniform selection
+// instead of crashing or silently reusing a node.
+func TestReplayHotPairsBeyondNodesFallBack(t *testing.T) {
+	r := pairReplay(t, 2, 3, 1.0)
+	var fell bool
+	for i := 0; i < 200; i++ {
+		src, dst, ok := r.hotPair()
+		if !ok {
+			fell = true
+			continue
+		}
+		if src.Node != 0 && src.Node != 1 || dst.Node != 0 && dst.Node != 1 {
+			t.Fatalf("hot pair used undeployed node: %d-%d", src.Node, dst.Node)
+		}
+	}
+	if !fell {
+		t.Fatal("pair index beyond node count never fell back to uniform")
+	}
+}
+
+// HotPairs takes precedence over in-cast skew: with both set, no flow is
+// redirected at HotNode by hotEndpoint (the pair dice already rolled).
+func TestReplayHotPairsDisableIncast(t *testing.T) {
+	r := pairReplay(t, 8, 2, 1.0)
+	r.HotNode = 5
+	src := Endpoint{Host: 3, Node: 3}
+	for i := 0; i < 100; i++ {
+		if hot := r.hotEndpoint(src); hot != nil {
+			t.Fatal("hotEndpoint redirected a flow while HotPairs is active")
+		}
+	}
+}
+
+func closeF(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -78,6 +78,7 @@ func (n *Net) signals() obsv.Signals {
 	sig := obsv.Signals{
 		Drops:          tot.Drops() + n.fabricDrops(),
 		CongestionHits: tot.CongestionHits(),
+		Reconfigs:      n.reconfigs,
 	}
 	for _, sw := range n.switches {
 		if e := sw.MaxEQOErrorBytes(); e > sig.MaxEQOErrBytes {
@@ -89,7 +90,7 @@ func (n *Net) signals() obsv.Signals {
 
 // fabricDrops sums the fabric-side drop counters.
 func (n *Net) fabricDrops() uint64 {
-	d := n.optical.DropsGuard + n.optical.DropsNoCircuit
+	d := n.optical.DropsGuard + n.optical.DropsNoCircuit + n.optical.DropsReconfig
 	if n.elec != nil {
 		d += n.elec.DropsQueue + n.elec.DropsNoRoute
 	}

@@ -41,6 +41,17 @@ type Net struct {
 	// deployGen counts DeployRouting invocations (telemetry).
 	deployGen int
 
+	// epoch/reconfigs/lastReprogramNs track mid-run schedule hot-swaps
+	// (Net.Reprogram); the observability plane attributes anomalies to
+	// reconfiguration events through them.
+	epoch           int
+	reconfigs       uint64
+	lastReprogramNs int64
+
+	// onMetrics holds deferred registry hooks (OnMetrics) until Metrics()
+	// builds the registry.
+	onMetrics []func(*telemetry.Registry)
+
 	// reg is the lazily built metrics registry (observe.go).
 	reg *telemetry.Registry
 	// tracer is the attached in-band packet tracer, if any (observe.go).
@@ -404,12 +415,32 @@ func (n *Net) Run(d time.Duration) {
 
 // Collect implements collect() (Table 1): run the network for the
 // collection interval, then return the global traffic matrix aggregated
-// from all switches (sent bytes plus host-reported pending bytes).
+// from all switches (sent bytes plus host-reported pending bytes). The
+// matrix is *windowed* — it covers only the interval since the previous
+// Collect (delta semantics), so periodic collectors see per-window demand
+// directly; two consecutive windows sum to the CollectTotal delta over the
+// same span.
 func (n *Net) Collect(interval time.Duration) core.TM {
 	n.Run(interval)
 	tm := core.NewTM(n.Cfg.NodeNum)
 	for _, sw := range n.switches {
 		part := sw.CollectTM()
+		for i := range part {
+			for j := range part[i] {
+				tm[i][j] += part[i][j]
+			}
+		}
+	}
+	return tm
+}
+
+// CollectTotal returns the cumulative traffic matrix since time zero:
+// every window Collect has returned plus the still-open one. Unlike
+// Collect it advances no time and resets nothing.
+func (n *Net) CollectTotal() core.TM {
+	tm := core.NewTM(n.Cfg.NodeNum)
+	for _, sw := range n.switches {
+		part := sw.CumulativeTM()
 		for i := range part {
 			for j := range part[i] {
 				tm[i][j] += part[i][j]

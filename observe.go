@@ -59,10 +59,39 @@ func (n *Net) Metrics() *telemetry.Registry {
 	}
 	n.registerFabrics(reg)
 	n.registerTracer(reg)
+	n.registerControl(reg)
 	if n.tracer != nil {
 		n.tracer.ObserveInto(reg)
 	}
+	for _, fn := range n.onMetrics {
+		fn(reg)
+	}
+	n.onMetrics = nil
 	return reg
+}
+
+// OnMetrics runs fn against the network's metrics registry — immediately
+// if the registry is already built, otherwise when Metrics() first builds
+// it. Subsystems layered on a Net (the demand controller, custom drivers)
+// contribute their metrics through it without forcing registry
+// construction on runs that never export telemetry.
+func (n *Net) OnMetrics(fn func(*telemetry.Registry)) {
+	if n.reg != nil {
+		fn(n.reg)
+		return
+	}
+	n.onMetrics = append(n.onMetrics, fn)
+}
+
+// registerControl exposes the control plane's reprogramming activity: the
+// hot-swap counter, current epoch, and the drain-window drop cost.
+func (n *Net) registerControl(reg *telemetry.Registry) {
+	reg.CounterFunc("oo_reconfig_total", "Mid-run schedule hot-swaps applied (Net.Reprogram).",
+		func() float64 { return float64(n.reconfigs) })
+	reg.GaugeFunc("oo_epoch", "Current scheduling epoch (hot-swap generation).",
+		func() float64 { return float64(n.epoch) })
+	reg.GaugeFunc("oo_last_reprogram_ns", "Virtual time of the most recent hot-swap.",
+		func() float64 { return float64(n.lastReprogramNs) })
 }
 
 // registerTracer exposes trace loss on /metrics. The closures read through
@@ -119,6 +148,9 @@ func (n *Net) registerFabrics(reg *telemetry.Registry) {
 	reg.CounterFunc("oo_fabric_drops_total", "Packets dropped inside a fabric.",
 		func() float64 { return float64(n.optical.DropsNoCircuit) },
 		opt, telemetry.L("reason", string(core.DropNoCircuit)))
+	reg.CounterFunc("oo_fabric_drops_total", "Packets dropped inside a fabric.",
+		func() float64 { return float64(n.optical.DropsReconfig) },
+		opt, telemetry.L("reason", string(core.DropReconfig)))
 	reg.CounterFunc("oo_fabric_forwarded_total", "Packets forwarded by a fabric.",
 		func() float64 { return float64(n.optical.Forwarded) }, opt)
 	for i, l := range n.optical.Links() {

@@ -1,0 +1,121 @@
+package openoptics
+
+import (
+	"fmt"
+
+	"openoptics/internal/core"
+)
+
+// This file implements the mid-run schedule hot-swap the demand-aware
+// control plane (internal/demand) builds on: Net.Reprogram re-enters the
+// existing controller compile path — DeployTopo then DeployRouting — at a
+// simulated epoch boundary, atomically in virtual time (both deployments
+// land at the same instant, so no packet observes the intermediate state),
+// with an explicit reconfiguration-cost model: fabric ports whose circuits
+// changed go dark for a drain window during which they carry no traffic.
+
+// ReprogramPlan is one epoch's full program: the circuit schedule plus the
+// routing compiled against it. NumSlices zero keeps the deployed cycle
+// length (the cycle length is fixed once the network has started).
+type ReprogramPlan struct {
+	Circuits  []core.Circuit
+	NumSlices int
+	Paths     []core.Path
+	Lookup    core.LookupMode
+	Multipath core.MultipathMode
+}
+
+// ReconfigCost models what a hot-swap costs the data plane.
+type ReconfigCost struct {
+	// DrainNs is the dark window: fabric ports whose circuits changed drop
+	// packets (DropReconfig) for this long after the swap, modeling the
+	// drain/guard slices during which affected circuits are retuned.
+	// Unaffected ports forward normally throughout. Zero applies the swap
+	// for free (idealized reconfiguration).
+	DrainNs int64
+}
+
+// Reprogram hot-swaps the deployed schedule and routing in one virtual
+// instant. On routing failure the previous program is restored (the same
+// rollback discipline as DeployRoutingLayer), so the network always runs a
+// complete, validated program. A swap that changes no circuit still
+// replaces the routing and counts as a reconfiguration, but darkens no
+// ports.
+func (n *Net) Reprogram(plan ReprogramPlan, cost ReconfigCost) error {
+	if plan.NumSlices <= 0 {
+		plan.NumSlices = n.sched.NumSlices
+	}
+	oldCircuits := n.sched.Circuits
+	oldSlices := n.sched.NumSlices
+	changed := diffCircuits(oldCircuits, plan.Circuits)
+	if err := n.DeployTopo(plan.Circuits, plan.NumSlices); err != nil {
+		return fmt.Errorf("openoptics: reprogram topo: %w", err)
+	}
+	if err := n.DeployRouting(plan.Paths, plan.Lookup, plan.Multipath); err != nil {
+		// DeployRoutingLayer already restored the old layer contents; put
+		// the old schedule back and recompile so tables and topology agree.
+		rerr := n.DeployTopo(oldCircuits, oldSlices)
+		if rerr == nil {
+			rerr = n.rebuildTables()
+		}
+		if rerr != nil {
+			return fmt.Errorf("openoptics: reprogram failed (%v) and rollback failed: %w", err, rerr)
+		}
+		return fmt.Errorf("openoptics: reprogram routing: %w", err)
+	}
+	if cost.DrainNs > 0 && n.started && len(changed) > 0 {
+		ports := make([]int, 0, 2*len(changed))
+		for _, c := range changed {
+			if fp, ok := n.optical.PortOf(c.A, c.PortA); ok {
+				ports = append(ports, fp)
+			}
+			if fp, ok := n.optical.PortOf(c.B, c.PortB); ok {
+				ports = append(ports, fp)
+			}
+		}
+		n.optical.SetDark(ports, n.eng.Now()+cost.DrainNs)
+	}
+	n.epoch++
+	n.reconfigs++
+	n.lastReprogramNs = n.eng.Now()
+	return nil
+}
+
+// Epoch returns the current scheduling epoch: the number of hot-swaps
+// applied, 0 until the first Reprogram.
+func (n *Net) Epoch() int { return n.epoch }
+
+// Reconfigs returns the cumulative hot-swap count (the oo_reconfig_total
+// metric's source).
+func (n *Net) Reconfigs() uint64 { return n.reconfigs }
+
+// LastReprogramNs returns the virtual time of the most recent hot-swap
+// (0 if none happened yet).
+func (n *Net) LastReprogramNs() int64 { return n.lastReprogramNs }
+
+// diffCircuits returns the circuits present in exactly one of the two
+// programs (canonical, endpoint-ordered form): those torn down plus those
+// newly set up — the set the reconfiguration cost applies to.
+func diffCircuits(old, new []core.Circuit) []core.Circuit {
+	count := make(map[core.Circuit]int, len(old)+len(new))
+	for _, c := range old {
+		count[c.Canon()]++
+	}
+	for _, c := range new {
+		count[c.Canon()]--
+	}
+	var out []core.Circuit
+	for _, c := range old {
+		if count[c.Canon()] != 0 {
+			out = append(out, c.Canon())
+			count[c.Canon()] = 0
+		}
+	}
+	for _, c := range new {
+		if count[c.Canon()] != 0 {
+			out = append(out, c.Canon())
+			count[c.Canon()] = 0
+		}
+	}
+	return out
+}

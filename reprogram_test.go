@@ -1,0 +1,260 @@
+package openoptics
+
+import (
+	"testing"
+	"time"
+
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+)
+
+// hohoNet4 builds the 4-node source-routed HOHO program the demand-aware
+// control plane starts from.
+func hohoNet4(t *testing.T) (*Net, []Circuit, int) {
+	t.Helper()
+	cfg := Config{
+		Node:            "rack",
+		NodeNum:         4,
+		Uplink:          1,
+		HostsPerNode:    1,
+		SliceDurationNs: 100_000,
+		Seed:            7,
+	}
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits, numSlices, err := RoundRobin(cfg.NodeNum, cfg.Uplink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeployTopo(circuits, numSlices); err != nil {
+		t.Fatal(err)
+	}
+	paths := n.HOHO(circuits, numSlices, RoutingOptions{})
+	if err := n.DeployRouting(paths, LookupSource, MultipathNone); err != nil {
+		t.Fatal(err)
+	}
+	return n, circuits, numSlices
+}
+
+// rotateSlices is a distinct but equally valid schedule: every matching
+// moves one slice later, so every circuit's canonical form changes.
+func rotateSlices(circuits []Circuit, numSlices int) []Circuit {
+	out := make([]Circuit, len(circuits))
+	for i, c := range circuits {
+		c.Slice = Slice((int(c.Slice) + 1) % numSlices)
+		out[i] = c
+	}
+	return out
+}
+
+func TestReprogramHotSwap(t *testing.T) {
+	n, circuits, numSlices := hohoNet4(t)
+	eps := n.Endpoints()
+	sink := traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+	probe.IntervalNs = 50_000
+	probe.Start(int64(40 * time.Millisecond))
+	n.Run(10 * time.Millisecond)
+
+	next := rotateSlices(circuits, numSlices)
+	paths := n.HOHO(next, numSlices, RoutingOptions{})
+	err := n.Reprogram(ReprogramPlan{
+		Circuits: next, NumSlices: numSlices, Paths: paths,
+		Lookup: LookupSource, Multipath: MultipathNone,
+	}, ReconfigCost{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Epoch() != 1 || n.Reconfigs() != 1 {
+		t.Fatalf("epoch=%d reconfigs=%d, want 1/1", n.Epoch(), n.Reconfigs())
+	}
+	if n.LastReprogramNs() != n.Engine().Now() {
+		t.Fatalf("LastReprogramNs=%d, now=%d", n.LastReprogramNs(), n.Engine().Now())
+	}
+	snap := n.Snapshot()
+	if snap.Epoch != 1 || snap.Reconfigs != 1 || snap.LastReprogramNs == 0 {
+		t.Fatalf("snapshot not updated: epoch=%d reconfigs=%d last=%d",
+			snap.Epoch, snap.Reconfigs, snap.LastReprogramNs)
+	}
+
+	before := sink.RTT.N()
+	n.Run(40 * time.Millisecond)
+	if sink.RTT.N() <= before {
+		t.Fatalf("no round trips completed after the hot-swap (before=%d after=%d)",
+			before, sink.RTT.N())
+	}
+}
+
+func TestReprogramDrainCostDropsPackets(t *testing.T) {
+	n, circuits, numSlices := hohoNet4(t)
+	eps := n.Endpoints()
+	traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+	probe.IntervalNs = 10_000
+	probe.Start(int64(40 * time.Millisecond))
+	n.Run(10 * time.Millisecond)
+
+	next := rotateSlices(circuits, numSlices)
+	paths := n.HOHO(next, numSlices, RoutingOptions{})
+	// Every circuit changes, so every fabric port goes dark for the
+	// drain window: in-flight probes must hit DropReconfig.
+	err := n.Reprogram(ReprogramPlan{
+		Circuits: next, NumSlices: numSlices, Paths: paths,
+		Lookup: LookupSource, Multipath: MultipathNone,
+	}, ReconfigCost{DrainNs: int64(2 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10 * time.Millisecond)
+	if got := n.OpticalFabric().DropsReconfig; got == 0 {
+		t.Fatal("expected DropReconfig drops during the drain window, got 0")
+	}
+	snap := n.OpticalFabric().Snapshot()
+	if snap.DropsReconfig != n.OpticalFabric().DropsReconfig {
+		t.Fatalf("snapshot drops_reconfig=%d, counter=%d",
+			snap.DropsReconfig, n.OpticalFabric().DropsReconfig)
+	}
+}
+
+func TestReprogramSameCircuitsDarkensNothing(t *testing.T) {
+	n, circuits, numSlices := hohoNet4(t)
+	eps := n.Endpoints()
+	traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+	probe.IntervalNs = 10_000
+	probe.Start(int64(30 * time.Millisecond))
+	n.Run(5 * time.Millisecond)
+
+	paths := n.HOHO(circuits, numSlices, RoutingOptions{})
+	err := n.Reprogram(ReprogramPlan{
+		Circuits: circuits, NumSlices: numSlices, Paths: paths,
+		Lookup: LookupSource, Multipath: MultipathNone,
+	}, ReconfigCost{DrainNs: int64(5 * time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(10 * time.Millisecond)
+	if got := n.OpticalFabric().DropsReconfig; got != 0 {
+		t.Fatalf("unchanged schedule darkened ports: %d reconfig drops", got)
+	}
+	if n.Reconfigs() != 1 {
+		t.Fatalf("reconfigs=%d, want 1 (a same-circuit swap still counts)", n.Reconfigs())
+	}
+}
+
+func TestReprogramRollbackOnBadRouting(t *testing.T) {
+	n, circuits, numSlices := hohoNet4(t)
+	eps := n.Endpoints()
+	sink := traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+	probe.IntervalNs = 50_000
+	probe.Start(int64(40 * time.Millisecond))
+	n.Run(5 * time.Millisecond)
+
+	next := rotateSlices(circuits, numSlices)
+	// A path whose hop departs on a slice with no matching circuit fails
+	// routing compilation after the topology already swapped — Reprogram
+	// must restore the old schedule and tables.
+	bad := []Path{{Src: 0, Dst: 1, TS: 0,
+		Hops: []Hop{{Node: 0, Egress: 99, DepSlice: 0}}}}
+	err := n.Reprogram(ReprogramPlan{
+		Circuits: next, NumSlices: numSlices, Paths: bad,
+		Lookup: LookupSource, Multipath: MultipathNone,
+	}, ReconfigCost{DrainNs: int64(time.Millisecond)})
+	if err == nil {
+		t.Fatal("Reprogram with invalid paths succeeded, want error")
+	}
+	if n.Reconfigs() != 0 || n.Epoch() != 0 {
+		t.Fatalf("failed reprogram counted: reconfigs=%d epoch=%d", n.Reconfigs(), n.Epoch())
+	}
+	deployed := n.Schedule().Circuits
+	if len(deployed) != len(circuits) {
+		t.Fatalf("schedule not rolled back: %d circuits, want %d", len(deployed), len(circuits))
+	}
+	for i, c := range circuits {
+		if deployed[i] != c {
+			t.Fatalf("circuit %d not rolled back: %+v != %+v", i, deployed[i], c)
+		}
+	}
+	before := sink.RTT.N()
+	n.Run(40 * time.Millisecond)
+	if sink.RTT.N() <= before {
+		t.Fatal("network not functional after rollback")
+	}
+	if n.OpticalFabric().DropsReconfig != 0 {
+		t.Fatal("failed reprogram darkened ports")
+	}
+}
+
+// TestCollectWindowedDelta is the windowed-collect regression: two
+// consecutive windows must sum to the cumulative-TM delta over the same
+// span, entry for entry.
+func TestCollectWindowedDelta(t *testing.T) {
+	n := rotorNet4(t, nil)
+	eps := n.Endpoints()
+	flow := core.FlowKey{SrcHost: eps[0].Host, DstHost: eps[2].Host,
+		SrcPort: 1, DstPort: 2, Proto: core.ProtoTCP}
+	eps[0].Stack.OpenTCP(flow, 0, 2, 500_000)
+
+	base := n.CollectTotal()
+	w1 := n.Collect(10 * time.Millisecond)
+	flow2 := core.FlowKey{SrcHost: eps[1].Host, DstHost: eps[3].Host,
+		SrcPort: 3, DstPort: 4, Proto: core.ProtoTCP}
+	eps[1].Stack.OpenTCP(flow2, 1, 3, 200_000)
+	w2 := n.Collect(10 * time.Millisecond)
+	total := n.CollectTotal()
+
+	if w1[0][2] <= 0 || w2[1][3] <= 0 {
+		t.Fatalf("windows missed traffic: w1[0][2]=%.0f w2[1][3]=%.0f", w1[0][2], w2[1][3])
+	}
+	for i := range total {
+		for j := range total[i] {
+			want := base[i][j] + w1[i][j] + w2[i][j]
+			if total[i][j] != want {
+				t.Fatalf("windows don't sum to cumulative at [%d][%d]: %.0f + %.0f + %.0f != %.0f",
+					i, j, base[i][j], w1[i][j], w2[i][j], total[i][j])
+			}
+		}
+	}
+	// CollectTotal must not reset anything: an immediate re-read agrees.
+	again := n.CollectTotal()
+	for i := range total {
+		for j := range total[i] {
+			if again[i][j] != total[i][j] {
+				t.Fatalf("CollectTotal not idempotent at [%d][%d]", i, j)
+			}
+		}
+	}
+}
+
+// TestDeployRoutingRepeated pins the idempotence and rollback semantics of
+// repeated DeployRouting calls: redeploying the same program is safe
+// mid-run, and a failed redeploy restores the previous working tables.
+func TestDeployRoutingRepeated(t *testing.T) {
+	n, circuits, numSlices := hohoNet4(t)
+	eps := n.Endpoints()
+	sink := traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[3])
+	probe.IntervalNs = 50_000
+	probe.Start(int64(60 * time.Millisecond))
+
+	paths := n.HOHO(circuits, numSlices, RoutingOptions{})
+	for i := 0; i < 3; i++ {
+		n.Run(5 * time.Millisecond)
+		if err := n.DeployRouting(paths, LookupSource, MultipathNone); err != nil {
+			t.Fatalf("redeploy %d: %v", i, err)
+		}
+	}
+	bad := []Path{{Src: 0, Dst: 1, TS: 0,
+		Hops: []Hop{{Node: 0, Egress: 99, DepSlice: 0}}}}
+	if err := n.DeployRouting(bad, LookupSource, MultipathNone); err == nil {
+		t.Fatal("invalid redeploy succeeded, want error")
+	}
+	before := sink.RTT.N()
+	n.Run(30 * time.Millisecond)
+	if sink.RTT.N() <= before {
+		t.Fatal("network not functional after failed redeploy rollback")
+	}
+}

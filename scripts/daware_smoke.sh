@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Demand-aware control-plane smoke: run the committed daware sweep spec at
+# -jobs 1 and -jobs 4 and require byte-identical summaries, at least one
+# mid-run reconfiguration from the aware policy (and none from the
+# oblivious baseline), and the aware policy beating oblivious on median
+# FCT under the spec's skewed pair demand. Then a single oosim run checks
+# the control loop's metrics reach the exported registry. CI runs this via
+# `make daware-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/oosim" ./cmd/oosim
+go build -o "$tmp/oosweep" ./cmd/oosweep
+
+"$tmp/oosweep" run -spec testdata/sweep_daware.json -out "$tmp/j1" -jobs 1 -quiet
+"$tmp/oosweep" run -spec testdata/sweep_daware.json -out "$tmp/j4" -jobs 4 -quiet
+
+# Determinism across worker counts: the CSV must match byte for byte, and
+# the JSON summary too once the run manifest's wall-clock timestamp (the
+# only legitimately run-dependent field) is masked.
+cmp "$tmp/j1/summary.csv" "$tmp/j4/summary.csv" \
+    || { echo "summary.csv differs between -jobs 1 and -jobs 4"; exit 1; }
+for d in j1 j4; do
+    sed 's/"started_at": *"[^"]*"/"started_at": ""/' "$tmp/$d/summary.json" >"$tmp/$d.masked.json"
+done
+cmp "$tmp/j1.masked.json" "$tmp/j4.masked.json" \
+    || { echo "summary.json differs between -jobs 1 and -jobs 4 beyond started_at"; exit 1; }
+
+# Per-policy checks from the CSV (columns: 15=fct_p50_ns, 22=policy,
+# 24=reconfigs).
+read -r aware_p50 aware_rc < <(awk -F, '$22=="aware" {print $15, $24}' "$tmp/j1/summary.csv")
+read -r obl_p50 obl_rc < <(awk -F, '$22=="oblivious" {print $15, $24}' "$tmp/j1/summary.csv")
+read -r rg_p50 rg_rc < <(awk -F, '$22=="reqgrant" {print $15, $24}' "$tmp/j1/summary.csv")
+[ -n "$aware_p50" ] && [ -n "$obl_p50" ] && [ -n "$rg_p50" ] \
+    || { echo "sweep missing a policy row"; cat "$tmp/j1/summary.csv"; exit 1; }
+
+[ "$aware_rc" -ge 1 ] || { echo "aware policy reconfigured $aware_rc times, want >= 1"; exit 1; }
+[ "$rg_rc" -ge 1 ] || { echo "reqgrant policy reconfigured $rg_rc times, want >= 1"; exit 1; }
+[ "$obl_rc" -eq 0 ] || { echo "oblivious baseline reconfigured $obl_rc times, want 0"; exit 1; }
+
+awk -v a="$aware_p50" -v o="$obl_p50" 'BEGIN { exit !(a+0 < o+0) }' \
+    || { echo "aware p50 ${aware_p50}ns not better than oblivious ${obl_p50}ns"; exit 1; }
+echo "fct_p50_ns: aware=$aware_p50 reqgrant=$rg_p50 oblivious=$obl_p50"
+
+# The control loop's telemetry must reach the exported metrics registry,
+# with at least one hot-swap counted.
+"$tmp/oosim" -arch daware -policy aware -nodes 8 -hot-frac 0.5 -hot-pairs 2 \
+    -workload rpc -load 0.3 -duration-ms 20 -metrics-out "$tmp/metrics.json" >"$tmp/sim.txt"
+grep -q 'demand: epochs=' "$tmp/sim.txt" || { echo "oosim printed no demand stats"; exit 1; }
+for m in oo_reconfig_total oo_demand_epochs_total oo_predictor_error_ratio oo_matching_weight_coverage; do
+    grep -q "$m" "$tmp/metrics.json" || { echo "metric $m missing from export"; exit 1; }
+done
+rc="$(grep -A8 '"name": "oo_reconfig_total"' "$tmp/metrics.json" \
+    | grep -o '"value": [0-9.]*' | head -1 | awk '{print $2}')"
+awk -v rc="${rc:-0}" 'BEGIN { exit !(rc+0 >= 1) }' \
+    || { echo "oo_reconfig_total=${rc:-missing}, want >= 1"; exit 1; }
+
+echo "daware smoke OK"

@@ -23,6 +23,15 @@ type NetSnapshot struct {
 	// Events is the engine's executed-event count.
 	Events uint64 `json:"events"`
 
+	// Epoch is the current scheduling epoch (hot-swap generation) and
+	// Reconfigs the cumulative Net.Reprogram count; LastReprogramNs stamps
+	// the most recent swap so watchers and the flight recorder can
+	// attribute anomalies to reconfiguration events. The installed schedule
+	// itself is visible through Optical.Circuits/NumSlices.
+	Epoch           int    `json:"epoch"`
+	Reconfigs       uint64 `json:"reconfigs"`
+	LastReprogramNs int64  `json:"last_reprogram_ns,omitempty"`
+
 	Switches []switchsim.Snapshot `json:"switches"`
 	Links    []LinkSnapshot       `json:"links"`
 	Optical  fabric.OpticalSnapshot `json:"optical"`
@@ -59,12 +68,15 @@ type LinkSnapshot struct {
 func (n *Net) Snapshot() NetSnapshot {
 	now := n.eng.Now()
 	snap := NetSnapshot{
-		TimeNs:    now,
-		Slice:     n.sched.SliceAt(now),
-		NumSlices: n.sched.NumSlices,
-		Events:    n.eng.Processed,
-		Switches:  make([]switchsim.Snapshot, 0, len(n.switches)),
-		Optical:   n.optical.Snapshot(),
+		TimeNs:          now,
+		Slice:           n.sched.SliceAt(now),
+		NumSlices:       n.sched.NumSlices,
+		Events:          n.eng.Processed,
+		Epoch:           n.epoch,
+		Reconfigs:       n.reconfigs,
+		LastReprogramNs: n.lastReprogramNs,
+		Switches:        make([]switchsim.Snapshot, 0, len(n.switches)),
+		Optical:         n.optical.Snapshot(),
 	}
 	for _, sw := range n.switches {
 		s := sw.Snapshot()
