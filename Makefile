@@ -16,6 +16,7 @@ test: build
 check: build
 	go vet ./...
 	go build -tags simdebug ./...
+	go test -tags simdebug ./internal/core ./internal/sim
 	go test -race . ./cmd/... ./internal/...
 	go test -run TestInvariants .
 
@@ -23,9 +24,15 @@ bench:
 	go test -run xxx -bench . -benchtime 3x .
 
 # One iteration of every benchmark in the repo: catches benchmarks that no
-# longer compile or crash without paying for stable timings. CI runs this.
+# longer compile or crash without paying for stable timings, then holds the
+# end-to-end hot path to its allocation budget — the pooled packet
+# lifecycle runs ~24 allocs/op at steady state, so anything above 150
+# means a leaked per-packet or per-event allocation crept back in. CI runs
+# this.
 bench-smoke:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+	go test -run '^$$' -bench 'BenchmarkEndToEndPacketRate$$' -benchtime 100x -benchmem . | tee /tmp/openoptics-allocs.txt
+	awk '/^BenchmarkEndToEndPacketRate/ { seen=1; a=$$(NF-1)+0; if (a > 150) { printf "FAIL: %d allocs/op exceeds the 150 ceiling\n", a; exit 1 } printf "allocs/op gate: %d <= 150\n", a } END { if (!seen) { print "FAIL: benchmark did not run"; exit 1 } }' /tmp/openoptics-allocs.txt
 
 # Race-detector smoke of the sweep orchestrator: a tiny grid on 4 workers,
 # run fresh then resumed (the resume must skip everything). CI runs this.

@@ -77,14 +77,14 @@ func Fig11(p Params) (*Fig11Result, error) {
 		}
 		sz := res.Sizes[i%len(res.Sizes)]
 		i++
-		pkt := &core.Packet{
+		pkt := n.PacketPool().NewPacket(core.Packet{
 			ID:      uint64(i),
 			Flow:    core.FlowKey{SrcHost: 0, DstHost: 1, SrcPort: 1, DstPort: 2, Proto: core.ProtoUDP},
 			SrcNode: 0, DstNode: 1,
 			Size: sz, Payload: sz - core.HeaderBytes,
 			Created: eng.Now(),
 			TTL:     core.DefaultTTL,
-		}
+		})
 		sw.Receive(pkt, core.PortID(cfg.Uplink)) // arrives on a downlink-side port
 		return true
 	})

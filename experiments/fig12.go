@@ -72,14 +72,14 @@ func fig12Run(interval int64, dur time.Duration, seed uint64) (*stats.Sample, er
 	inject := func(count int) {
 		for i := 0; i < count; i++ {
 			pktID++
-			pkt := &core.Packet{
+			pkt := n.PacketPool().NewPacket(core.Packet{
 				ID:      pktID,
 				Flow:    core.FlowKey{SrcHost: 0, DstHost: 1, SrcPort: 1, DstPort: 2, Proto: core.ProtoUDP},
 				SrcNode: 0, DstNode: core.NodeID(1 + int(pktID)%3),
 				Size: 1500, Payload: 1500 - core.HeaderBytes,
 				Created: eng.Now(),
 				TTL:     core.DefaultTTL,
-			}
+			})
 			sw.Receive(pkt, core.PortID(1)) // downlink-side ingress
 		}
 	}

@@ -98,7 +98,7 @@ func fig14Run(jitterNs int64, dur time.Duration, seed uint64) (*stats.Sample, *s
 			return false
 		}
 		i++
-		pkt := &core.Packet{
+		pkt := n.PacketPool().NewPacket(core.Packet{
 			ID:      i,
 			Flow:    core.FlowKey{SrcHost: 0, DstHost: 1, SrcPort: 3, DstPort: 4, Proto: core.ProtoUDP},
 			SrcNode: 0, DstNode: 1,
@@ -110,7 +110,7 @@ func fig14Run(jitterNs int64, dur time.Duration, seed uint64) (*stats.Sample, *s
 			CtrlSlice:   core.WildcardSlice,
 			SR:          []core.SRHop{{Egress: 0, DepSlice: core.WildcardSlice}},
 			TTL:         core.DefaultTTL,
-		}
+		})
 		sw.Counters.Offloads++
 		swToHost(n, 0, pkt)
 		return true

@@ -12,6 +12,20 @@ type ConnIndex struct {
 	bySlice   []map[NodeID][]Circuit // per-slice adjacency
 	static    map[NodeID][]Circuit   // wildcard-slice adjacency
 	nodes     []NodeID
+
+	// neighMemo caches Neighbors results. The index is immutable after
+	// NewConnIndex, so the first query per (node, slice) computes and the
+	// rest are a map hit — switches ask the same question every slice
+	// rotation, and an allocation per rotation is exactly what the
+	// zero-allocation steady state forbids. Callers must treat the
+	// returned slice as read-only (all in-tree callers only range over it).
+	neighMemo map[neighKey][]NodeID
+}
+
+// neighKey identifies one memoized Neighbors query.
+type neighKey struct {
+	n  NodeID
+	ts Slice
 }
 
 // NewConnIndex builds an index for the given schedule.
@@ -24,6 +38,7 @@ func NewConnIndex(s *Schedule) *ConnIndex {
 		numSlices: ns,
 		bySlice:   make([]map[NodeID][]Circuit, ns),
 		static:    make(map[NodeID][]Circuit),
+		neighMemo: make(map[neighKey][]NodeID),
 	}
 	for i := range ix.bySlice {
 		ix.bySlice[i] = make(map[NodeID][]Circuit)
@@ -77,8 +92,18 @@ func (ix *ConnIndex) Circuits(n NodeID, ts Slice) []Circuit {
 
 // Neighbors implements the neighbors() helper (Table 1): all nodes with a
 // direct circuit to n in slice ts. Duplicate peers (parallel circuits) are
-// deduplicated; order is deterministic.
+// deduplicated; order is deterministic. The result is memoized — callers
+// must not mutate the returned slice.
 func (ix *ConnIndex) Neighbors(n NodeID, ts Slice) []NodeID {
+	k := neighKey{n: n, ts: ts}
+	if !ts.IsWildcard() {
+		// Slices alias modulo the cycle length; canonicalize the key so
+		// rotation r and r+numSlices share one memo entry.
+		k.ts = Slice(int(ts) % ix.numSlices)
+	}
+	if out, ok := ix.neighMemo[k]; ok {
+		return out
+	}
 	cs := ix.Circuits(n, ts)
 	seen := make(map[NodeID]bool, len(cs))
 	out := make([]NodeID, 0, len(cs))
@@ -90,6 +115,7 @@ func (ix *ConnIndex) Neighbors(n NodeID, ts Slice) []NodeID {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	ix.neighMemo[k] = out
 	return out
 }
 

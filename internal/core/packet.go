@@ -107,10 +107,6 @@ type Packet struct {
 	Created  int64 // virtual time the packet entered the network
 	Enqueued int64 // virtual time of last enqueue (for delay accounting)
 
-	// ArrSlice is stamped by the ingress pipeline on every hop: the slice
-	// in which the packet arrived at the current node (Req. 1).
-	ArrSlice Slice
-
 	// Source routing state (Fig. 3 d): remaining hops and cursor.
 	SR    []SRHop
 	SRIdx int
@@ -137,16 +133,64 @@ type Packet struct {
 	// pointer check.
 	Trace *PktTrace
 
-	// flowHash caches Flow.Hash() so multi-hop forwarding computes the
-	// five-tuple hash once per packet; see FlowHash.
+	// arrSlice and flowHash are the inline fallback store for the two hot
+	// per-packet scalars — used only by unpooled (heap) packets. Pooled
+	// packets keep them in the pool's SoA side arrays (pool.go), indexed
+	// by idx; the ArrSlice/FlowHash accessors pick the store with one nil
+	// check.
+	arrSlice Slice
 	flowHash uint64
+
+	// Pool identity (pool.go): the owning pool, this record's slot index,
+	// and the generation captured at allocation (odd = live). All zero for
+	// heap packets, so the zero Packet value remains valid and unpooled.
+	pool *PacketPool
+	idx  int32
+	gen  uint32
 }
 
-// FlowHash returns Flow.Hash(), computed on first use and cached on the
-// packet so per-hop table lookups skip the 13-byte FNV walk. The zero
-// cache value triggers recomputation, which yields the same hash — the
-// result is always identical to Flow.Hash().
+// ArrSlice returns the arrival slice stamped by the ingress pipeline on
+// every hop: the slice in which the packet arrived at the current node
+// (Req. 1).
+func (p *Packet) ArrSlice() Slice {
+	if pl := p.pool; pl != nil {
+		if poolDebug {
+			p.assertLive()
+		}
+		return pl.arr[p.idx]
+	}
+	return p.arrSlice
+}
+
+// SetArrSlice stamps the arrival slice (the ingress pipeline's Req. 1
+// write, once per hop).
+func (p *Packet) SetArrSlice(s Slice) {
+	if pl := p.pool; pl != nil {
+		if poolDebug {
+			p.assertLive()
+		}
+		pl.arr[p.idx] = s
+		return
+	}
+	p.arrSlice = s
+}
+
+// FlowHash returns Flow.Hash(), computed on first use and cached so
+// per-hop table lookups skip the 13-byte FNV walk. The zero cache value
+// triggers recomputation, which yields the same hash — the result is
+// always identical to Flow.Hash().
 func (p *Packet) FlowHash() uint64 {
+	if pl := p.pool; pl != nil {
+		if poolDebug {
+			p.assertLive()
+		}
+		h := pl.hash[p.idx]
+		if h == 0 {
+			h = p.Flow.Hash()
+			pl.hash[p.idx] = h
+		}
+		return h
+	}
 	if p.flowHash == 0 {
 		p.flowHash = p.Flow.Hash()
 	}
@@ -156,7 +200,16 @@ func (p *Packet) FlowHash() uint64 {
 // ClearFlowHash invalidates the cached five-tuple hash; callers that
 // mutate Flow on an existing packet (push-back relays rewriting the
 // destination host) must invoke it so FlowHash stays consistent.
-func (p *Packet) ClearFlowHash() { p.flowHash = 0 }
+func (p *Packet) ClearFlowHash() {
+	if pl := p.pool; pl != nil {
+		if poolDebug {
+			p.assertLive()
+		}
+		pl.hash[p.idx] = 0
+		return
+	}
+	p.flowHash = 0
+}
 
 // HeaderBytes is the fixed per-packet header overhead (Ethernet + IP + UDP
 // or TCP, amortized) used when converting payload to wire size.

@@ -1,0 +1,7 @@
+//go:build !simdebug
+
+package core
+
+// poolDebug gates the packet pool's generation-counter checks. In normal
+// builds the const is false and the compiler eliminates every check.
+const poolDebug = false

@@ -1,0 +1,7 @@
+//go:build simdebug
+
+package core
+
+// poolDebug enables generation-counter checks in the packet pool:
+// double frees and uses of freed packets panic at the offending call.
+const poolDebug = true

@@ -67,6 +67,7 @@ func (f *ElectricalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	if !ok {
 		f.DropsNoRoute++
 		f.traceDrop(pkt, core.DropElecRoute)
+		pkt.Free()
 		return
 	}
 	f.eng.AfterEvent(f.PipelineDelay, sim.ClassFabricElec, (*elecEnqueue)(f), pkt, int64(fp))
@@ -84,6 +85,7 @@ func (a *elecEnqueue) RunEvent(arg any, v int64) {
 	if p.bytes+int64(pkt.Size) > f.queueCap() {
 		f.DropsQueue++
 		f.traceDrop(pkt, core.DropElecQueue)
+		pkt.Free()
 		return
 	}
 	if pkt.Trace != nil {

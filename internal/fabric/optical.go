@@ -185,16 +185,19 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	if f.sched == nil {
 		f.DropsNoCircuit++
 		f.traceDrop(pkt, core.DropNoCircuit)
+		pkt.Free()
 		return
 	}
 	if f.blockUntil > 0 && f.eng.Now() < f.blockUntil {
 		f.DropsGuard++ // reconfiguration blackout
 		f.traceDrop(pkt, core.DropGuard)
+		pkt.Free()
 		return
 	}
 	if f.portDark(int(port)) {
 		f.DropsReconfig++ // hot-swap drain window on the ingress port
 		f.traceDrop(pkt, core.DropReconfig)
+		pkt.Free()
 		return
 	}
 	now := f.eng.Now() + f.ClockOffset
@@ -209,6 +212,7 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 		if now-sliceStart < guard {
 			f.DropsGuard++
 			f.traceDrop(pkt, core.DropGuard)
+			pkt.Free()
 			return
 		}
 	}
@@ -219,11 +223,13 @@ func (f *OpticalFabric) Receive(pkt *core.Packet, port core.PortID) {
 	if !ok {
 		f.DropsNoCircuit++
 		f.traceDrop(pkt, core.DropNoCircuit)
+		pkt.Free()
 		return
 	}
 	if f.portDark(out) {
 		f.DropsReconfig++ // hot-swap drain window on the egress port
 		f.traceDrop(pkt, core.DropReconfig)
+		pkt.Free()
 		return
 	}
 	f.Forwarded++

@@ -104,6 +104,11 @@ type Host struct {
 	// transmit and finishes them at delivery. One nil check when unset.
 	Tracer *telemetry.Tracer
 
+	// Pool, when set, backs the host's own control packets (traffic
+	// reports) with slab storage. Nil is valid — packets fall back to the
+	// heap, which keeps single-device tests pool-free.
+	Pool *core.PacketPool
+
 	// TX machinery.
 	ready   core.Deque[txItem]       // sendable now
 	held    map[core.NodeID][]txItem // held per destination node
@@ -162,10 +167,18 @@ func (h *Host) localNow() int64 { return h.eng.Now() + h.Cfg.ClockOffset }
 func (h *Host) Send(pkt *core.Packet) bool {
 	if h.queuedB+int64(pkt.Size) > h.Cfg.segCap() {
 		h.Counters.RejectedFull++
+		// A rejected packet never enters the network; its life ends here.
+		pkt.Free()
 		return false
 	}
-	h.flowSent[pkt.Flow] += int64(pkt.Payload)
-	it := txItem{pkt: pkt, elephant: h.flowSent[pkt.Flow] > h.Cfg.elephant()}
+	// Flow aging only feeds the elephant classifier, which is consulted
+	// solely under flow pausing — skip the map write otherwise.
+	elephant := false
+	if h.Cfg.FlowPausing {
+		h.flowSent[pkt.Flow] += int64(pkt.Payload)
+		elephant = h.flowSent[pkt.Flow] > h.Cfg.elephant()
+	}
+	it := txItem{pkt: pkt, elephant: elephant}
 	h.queuedB += int64(pkt.Size)
 	if h.mustHold(it) {
 		h.held[pkt.DstNode] = append(h.held[pkt.DstNode], it)
@@ -311,22 +324,28 @@ func (h *Host) Receive(pkt *core.Packet, port core.PortID) {
 	case core.CtrlSignal:
 		h.Counters.SignalsRx++
 		h.onSignal(pkt)
+		pkt.Free()
 		return
 	case core.CtrlSignalClose:
 		h.Counters.SignalsRx++
 		delete(h.circuitUntil, pkt.CtrlNode)
+		pkt.Free()
 		return
 	case core.CtrlPushBack:
 		h.Counters.PushBacksRx++
 		h.onPushBack(pkt)
+		pkt.Free()
 		return
 	}
 	if h.Tracer != nil && pkt.Trace != nil {
 		h.Tracer.Deliver(pkt, h.Cfg.Node, h.eng.Now())
 	}
+	// Delivery is the end of a data packet's life: the handler (transport
+	// demux) consumes the packet synchronously and must not retain it.
 	if h.Handler != nil {
 		h.Handler(pkt)
 	}
+	pkt.Free()
 }
 
 // onSignal opens the circuit window toward the signaled peer — for the
@@ -342,7 +361,16 @@ func (h *Host) onSignal(pkt *core.Packet) {
 	sd := int64(h.Cfg.Schedule.SliceDuration)
 	start := h.Cfg.Schedule.SliceStart(h.localNow(), pkt.CtrlSlice)
 	h.circuitUntil[dst] = start + sd
-	h.eng.AtClass(maxI64(start-h.Cfg.ClockOffset, h.eng.Now()), sim.ClassHostTx, func() { h.release(dst) })
+	h.eng.AtEvent(maxI64(start-h.Cfg.ClockOffset, h.eng.Now()), sim.ClassHostTx, (*releaseAction)(h), nil, int64(dst))
+}
+
+// releaseAction re-examines held traffic toward a destination node (v) when
+// a circuit window opens or a pause expires — the closure-free event form of
+// h.release, scheduled once per signal/push-back on the hot path.
+type releaseAction Host
+
+func (a *releaseAction) RunEvent(_ any, v int64) {
+	(*Host)(a).release(core.NodeID(v))
 }
 
 // onPushBack pauses traffic to the subject destination until the subject
@@ -356,8 +384,7 @@ func (h *Host) onPushBack(pkt *core.Packet) {
 	if cur, ok := h.pausedUntil[pkt.CtrlNode]; !ok || until > cur {
 		h.pausedUntil[pkt.CtrlNode] = until
 	}
-	dst := pkt.CtrlNode
-	h.eng.AtClass(maxI64(until-h.Cfg.ClockOffset, h.eng.Now()), sim.ClassHostTx, func() { h.release(dst) })
+	h.eng.AtEvent(maxI64(until-h.Cfg.ClockOffset, h.eng.Now()), sim.ClassHostTx, (*releaseAction)(h), nil, int64(pkt.CtrlNode))
 }
 
 // park stores an offloaded packet and schedules its return shortly before
@@ -394,12 +421,15 @@ func (h *Host) ParkedPackets() int { return h.parked }
 // sendReports emits per-destination pending-byte reports toward the ToR
 // (the host side of collect(); the switch already observes sent bytes).
 func (h *Host) sendReports() {
+	if h.link == nil {
+		return
+	}
 	for dst, bytes := range h.pendingByDst {
 		if bytes <= 0 {
 			continue
 		}
 		h.Counters.ReportsSent++
-		rep := &core.Packet{
+		rep := h.Pool.NewPacket(core.Packet{
 			ID:       h.rng.Uint64(),
 			Flow:     core.FlowKey{Proto: core.ProtoCtrl, SrcHost: h.Cfg.ID},
 			SrcNode:  h.Cfg.Node,
@@ -411,10 +441,8 @@ func (h *Host) sendReports() {
 			Echo:     bytes,
 			Created:  h.eng.Now(),
 			TTL:      core.DefaultTTL,
-		}
-		if h.link != nil {
-			h.link.Send(h, rep)
-		}
+		})
+		h.link.Send(h, rep)
 	}
 }
 

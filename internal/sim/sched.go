@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"slices"
+)
 
 // This file is the engine's event store: a calendar-queue timing wheel for
 // near-future events (the overwhelmingly common case — per-slice rotations,
@@ -12,22 +15,32 @@ import "math"
 // heap allocations — every backing array (buckets, overflow, slab, free
 // list) is reused across events.
 //
+// Bucket storage is two-level: each bucket holds a small sorted run of
+// items inline in the wheel array itself, spilling deeper buckets to a
+// per-bucket 4-ary heap. The hot workload is a self-sustaining cascade —
+// each handler schedules its successors a few hundred ns out, so nearly
+// all traffic flows through the cursor bucket — and the inline region
+// keeps that traffic in one or two cache lines per bucket instead of a
+// heap array per bucket that goes cold between touches.
+//
 // Determinism: the scheduler realizes the exact (t, seq) total order the
-// seed engine's binary heap produced. Wheel buckets are min-heaps on
-// (t, seq); the overflow heap uses the same key; pop always compares the
-// earliest wheel candidate against the overflow top, so no structural
-// migration can reorder events.
+// seed engine's binary heap produced. pop/peek select the (t, seq)-minimum
+// across inline items and spill heap; the overflow heap uses the same key;
+// the run loop always compares the earliest wheel candidate against the
+// overflow top, so no structural migration can reorder events.
 
-// Wheel geometry. Bucket width 4096 ns and 256 buckets give a ~1.05 ms
+// Wheel geometry. Bucket width 512 ns and 1024 buckets give a ~524 µs
 // horizon: slice rotations (tens to hundreds of µs), wire propagation, and
 // serialization completions all land in the wheel, while RTO checks and
-// long timers overflow to the heap. Finer geometries (512 ns × 1024,
-// 2048 ns × 512) measured slower end to end: shallower per-bucket heaps
-// don't pay for the extra cursor advances and colder bucket arrays.
+// long timers overflow to the heap. The narrow bucket keeps per-bucket
+// resident sets near the inline capacity at line-rate event densities
+// (one event every few tens of ns), so the spill heaps stay shallow;
+// coarser widths (4096 ns) measured slower end to end because buckets
+// ballooned past the inline region into the heaps.
 const (
-	wheelShift   = 12 // log2 of bucket width in ns
+	wheelShift   = 9 // log2 of bucket width in ns
 	bucketWidth  = int64(1) << wheelShift
-	wheelBuckets = 256
+	wheelBuckets = 1024
 	wheelMask    = wheelBuckets - 1
 	wheelSpan    = bucketWidth * wheelBuckets
 )
@@ -68,18 +81,102 @@ type eventRec struct {
 	class Class
 }
 
+// bucketInline is the per-bucket inline capacity. The hot pattern is a
+// self-sustaining cascade around the cursor — pop an event, its handler
+// schedules its successors a few hundred ns out — with per-bucket resident
+// sets of a few items at the 512 ns bucket width, so eight inline slots
+// absorb nearly all traffic; only bursts (timer clusters parked on one
+// instant) touch the spill heaps.
+const bucketInline = 8
+
+// bucket is one calendar slot: up to bucketInline items held in the wheel
+// array itself, sorted descending by (t, seq) so the minimum is the last
+// inline element and pop is a counter decrement; deeper buckets spill to a
+// per-bucket 4-ary heap. For the resident sets this workload produces, the
+// sorted array beats a heap: pops are free, pushes are a ≤8-element scan
+// plus a ≤112-byte memmove, and everything stays in L1.
+type bucket struct {
+	inline [bucketInline]item
+	ni     int32
+	spill  bucketHeap
+}
+
+func (b *bucket) empty() bool { return b.ni == 0 && len(b.spill) == 0 }
+
+func (b *bucket) size() int { return int(b.ni) + len(b.spill) }
+
+func (b *bucket) push(it item) {
+	if b.ni == bucketInline {
+		b.spill.push(it)
+		return
+	}
+	// Insert keeping descending (t, seq) order: find the first resident
+	// smaller than it, shift the tail down one.
+	j := int32(0)
+	for j < b.ni && !itemLess(b.inline[j], it) {
+		j++
+	}
+	copy(b.inline[j+1:b.ni+1], b.inline[j:b.ni])
+	b.inline[j] = it
+	b.ni++
+}
+
+// peek returns the (t, seq)-minimum item without removing it. Requires a
+// non-empty bucket. Spilled items are not ordered relative to inline ones,
+// so the inline minimum is always compared against the spill top.
+func (b *bucket) peek() item {
+	if b.ni == 0 {
+		return b.spill[0]
+	}
+	m := b.inline[b.ni-1]
+	if len(b.spill) > 0 && itemLess(b.spill[0], m) {
+		return b.spill[0]
+	}
+	return m
+}
+
+// pop removes and returns the (t, seq)-minimum item. Requires a non-empty
+// bucket. The selection mirrors peek exactly.
+func (b *bucket) pop() item {
+	if b.ni == 0 {
+		return b.spill.pop()
+	}
+	m := b.inline[b.ni-1]
+	if len(b.spill) > 0 && itemLess(b.spill[0], m) {
+		return b.spill.pop()
+	}
+	b.ni--
+	return m
+}
+
 // scheduler is the hybrid calendar-queue/heap event store.
 type scheduler struct {
 	slab []eventRec
 	free []int32 // reusable slab slots
 
-	wheel       [wheelBuckets]bucketHeap
+	wheel       [wheelBuckets]bucket
 	wheelCount  int // events resident in the wheel
 	cursor      int // bucket covering [cursorStart, cursorStart+bucketWidth)
 	cursorStart int64
 	wheelEnd    int64 // exclusive horizon of the wheel window
 
 	overflow bucketHeap // events outside [cursorStart, wheelEnd)
+
+	// Drain buffer for batched dispatch (Engine.RunUntil): a deep front
+	// bucket's events, sorted ascending once and consumed front-to-back.
+	// Consuming a sorted array replaces a heap sift per pop with an index
+	// increment. Events a handler pushes into the bucket mid-drain go
+	// through the bucket as usual (it is empty at drain start) and the run
+	// loop merges the two sources by (t, seq).
+	drainBuf []item
+	drainPos int
+
+	// anchorGen counts window re-anchors. A batch drain caches it: if a
+	// re-anchor happens mid-batch (only possible after the queue fully
+	// drained inside a handler), bucket indexes alias to new time windows
+	// and the batch must fall back to min() rather than keep popping from
+	// its — now unrelated — bucket.
+	anchorGen uint64
 
 	n int // total queued events
 }
@@ -97,6 +194,7 @@ func (s *scheduler) anchor(t int64) {
 	s.cursor = int(t>>wheelShift) & wheelMask
 	s.cursorStart = (t >> wheelShift) << wheelShift
 	s.wheelEnd = satAdd(s.cursorStart, wheelSpan)
+	s.anchorGen++
 }
 
 // push enqueues an event at time t with scheduling order seq.
@@ -120,17 +218,18 @@ func (s *scheduler) push(t int64, seq uint64, rec eventRec) {
 	} else {
 		// Far future — or, rarely, between "now" and a wheel window that
 		// jumped ahead (idle engine at a deadline with a distant timer
-		// pending). Both cases are correct here: min() always compares
-		// the overflow top against the wheel candidate.
+		// pending). Both cases are correct here: the run loop always
+		// compares the overflow top against the wheel candidate.
 		s.overflow.push(it)
 	}
 	s.n++
 }
 
-// min returns the heap holding the globally earliest event at its top,
-// advancing the cursor past empty buckets and migrating overflow events
-// that entered the wheel window. Requires n > 0.
-func (s *scheduler) min() *bucketHeap {
+// min returns the bucket holding the globally earliest event, advancing
+// the cursor past empty buckets and migrating overflow events that entered
+// the wheel window — or nil when the overflow heap holds the globally
+// earliest event. Requires n > 0.
+func (s *scheduler) min() *bucket {
 	if s.wheelCount == 0 {
 		// Re-base the wheel at the overflow's earliest event so upcoming
 		// inserts and migrations use the buckets again.
@@ -138,32 +237,93 @@ func (s *scheduler) min() *bucketHeap {
 		s.drain()
 		if s.wheelCount == 0 {
 			// Saturated horizon (times near MaxInt64): serve from overflow.
-			return &s.overflow
+			return nil
 		}
 	}
-	for len(s.wheel[s.cursor]) == 0 {
+	for s.wheel[s.cursor].empty() {
 		s.advance()
 	}
 	b := &s.wheel[s.cursor]
-	if len(s.overflow) > 0 && itemLess(s.overflow[0], (*b)[0]) {
-		return &s.overflow
+	if len(s.overflow) > 0 && itemLess(s.overflow[0], b.peek()) {
+		return nil
 	}
 	return b
 }
 
-// take pops the top event from b (as returned by min) and recycles its
-// slab slot, returning the payload.
-func (s *scheduler) take(b *bucketHeap) (t int64, rec eventRec) {
-	it := b.pop()
-	if b != &s.overflow {
-		s.wheelCount--
-	}
+// recycle frees the popped item's slab slot and returns its payload.
+func (s *scheduler) recycle(it item) (t int64, rec eventRec) {
 	s.n--
 	r := &s.slab[it.slot]
 	rec = *r
 	*r = eventRec{} // drop closure/operand references; the slot is free for reuse
 	s.free = append(s.free, it.slot)
 	return it.t, rec
+}
+
+// takeBucket pops the earliest event from wheel bucket b.
+func (s *scheduler) takeBucket(b *bucket) (t int64, rec eventRec) {
+	it := b.pop()
+	s.wheelCount--
+	return s.recycle(it)
+}
+
+// takeOverflow pops the earliest event from the overflow heap.
+func (s *scheduler) takeOverflow() (t int64, rec eventRec) {
+	return s.recycle(s.overflow.pop())
+}
+
+// drainSortMin is the bucket depth at which batched dispatch switches from
+// popping the bucket to sorting it once and consuming the sorted run.
+// Shallow buckets (the common case at small scale — standing event
+// populations of tens) pop faster than they sort; deep buckets (large
+// fan-out topologies parking hundreds of contemporaneous events per
+// bucket) amortize one sort against a heap sift per event.
+const drainSortMin = 16
+
+// beginDrain prepares bucket b for a batched drain. Deep buckets move into
+// the drain buffer, sorted ascending by (t, seq), leaving b empty (spill
+// capacity is retained for mid-drain pushes); shallow buckets stay put —
+// the run loop then serves them min-first, which is the same order.
+// Buffered events stay part of the wheel for bookkeeping (wheelCount, n)
+// until takeDrained consumes them.
+func (s *scheduler) beginDrain(b *bucket) {
+	s.drainPos = 0
+	if b.size() < drainSortMin {
+		s.drainBuf = s.drainBuf[:0]
+		return
+	}
+	s.drainBuf = append(s.drainBuf[:0], b.inline[:b.ni]...)
+	s.drainBuf = append(s.drainBuf, b.spill...)
+	b.ni = 0
+	b.spill = b.spill[:0]
+	slices.SortFunc(s.drainBuf, func(a, b item) int {
+		if itemLess(a, b) {
+			return -1
+		}
+		return 1
+	})
+}
+
+// takeDrained consumes the drain buffer's front event and recycles its
+// slab slot — the sorted-array counterpart of takeBucket.
+func (s *scheduler) takeDrained() (t int64, rec eventRec) {
+	it := s.drainBuf[s.drainPos]
+	s.drainPos++
+	s.wheelCount--
+	return s.recycle(it)
+}
+
+// endDrain returns unconsumed drained events to bucket b (deadline, halt,
+// or interrupt ended the batch early). A fully consumed buffer is a no-op.
+// Never called across a re-anchor: the buffer is provably empty by then
+// (re-anchoring requires the queue — which counts buffered events — to
+// have drained to zero).
+func (s *scheduler) endDrain(b *bucket) {
+	for _, it := range s.drainBuf[s.drainPos:] {
+		b.push(it)
+	}
+	s.drainBuf = s.drainBuf[:0]
+	s.drainPos = 0
 }
 
 // advance rotates the cursor to the next bucket, extending the horizon by
@@ -177,7 +337,7 @@ func (s *scheduler) advance() {
 
 // drain migrates overflow events that now fall inside the wheel window.
 // An overflow top behind the window (possible after the window jumped
-// ahead) blocks migration; min() serves it directly via comparison.
+// ahead) blocks migration; the run loop serves it directly via comparison.
 func (s *scheduler) drain() {
 	for len(s.overflow) > 0 {
 		t := s.overflow[0].t
@@ -194,7 +354,8 @@ func (s *scheduler) drain() {
 // stored inline (no pointers, no interface boxing) and the backing array
 // is retained across fill/drain cycles, so steady-state push/pop performs
 // no allocations. 4-ary trades slightly more comparisons per level for
-// half the depth and better cache behavior than binary.
+// half the depth and better cache behavior than binary. Used for bucket
+// spill storage and the overflow heap.
 type bucketHeap []item
 
 func (h *bucketHeap) push(it item) {

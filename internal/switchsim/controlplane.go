@@ -51,8 +51,32 @@ func (cp *ControlPlane) SendTo(id core.NodeID, pkt *core.Packet) {
 	}
 	if fn == nil {
 		cp.Dropped++
+		// No subscriber: the message's life ends here.
+		pkt.Free()
 		return
 	}
 	cp.Sent++
-	cp.eng.After(cp.delay(), func() { fn(pkt) })
+	cp.eng.AfterEvent(cp.delay(), sim.ClassOther, (*cpDeliver)(cp), pkt, int64(id))
+}
+
+// cpDeliver hands a control message (arg) to the addressed node's handler
+// (v) after the control-network delay — the closure-free event form of
+// SendTo's deferred delivery. The handler set is resolved again at dispatch
+// time; registrations never disappear, so the send-time nil check holds.
+type cpDeliver ControlPlane
+
+func (a *cpDeliver) RunEvent(arg any, v int64) {
+	cp := (*ControlPlane)(a)
+	pkt := arg.(*core.Packet)
+	var fn func(*core.Packet)
+	if core.NodeID(v) == core.NoNode {
+		fn = cp.ControllerIn
+	} else {
+		fn = cp.handlers[core.NodeID(v)]
+	}
+	if fn == nil {
+		pkt.Free()
+		return
+	}
+	fn(pkt)
 }

@@ -15,7 +15,7 @@ import (
 func (s *Switch) Receive(pkt *core.Packet, inPort core.PortID) {
 	s.Counters.RxPkts++
 	if s.WireDelaySampler != nil && pkt.Enqueued > 0 {
-		if p, ok := s.byPort[inPort]; ok && p.kind == portUplink {
+		if p := s.portAt(inPort); p != nil && p.kind == portUplink {
 			s.WireDelaySampler(s.eng.Now()-pkt.Enqueued, pkt.Size)
 		}
 	}
@@ -38,11 +38,11 @@ func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
 	}
 	// Req. 1: stamp the arrival time slice.
 	arr := s.localSlice()
-	pkt.ArrSlice = arr
+	pkt.SetArrSlice(arr)
 
 	// Traffic accounting for collect(): bytes entering from local hosts,
 	// keyed by destination node.
-	if p, ok := s.byPort[inPort]; ok && p != nil && s.isDownlink(inPort) {
+	if p := s.portAt(inPort); p != nil && p.kind == portDownlink {
 		s.tm.Add(s.Cfg.ID, pkt.DstNode, float64(pkt.Size))
 	}
 
@@ -51,7 +51,7 @@ func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
 	if pkt.DstNode == s.Cfg.ID {
 		s.Counters.Delivered++
 		if pkt.Trace != nil {
-			if p, ok := s.downByHost[pkt.Flow.DstHost]; ok {
+			if p := s.downPortAt(pkt.Flow.DstHost); p != nil {
 				s.traceHop(pkt, inPort, p.id, arr, core.WildcardSlice, p.bytes)
 			}
 		}
@@ -102,8 +102,8 @@ func (s *Switch) process(pkt *core.Packet, inPort core.PortID) {
 
 // forward places the packet on the egress port's queue system.
 func (s *Switch) forward(pkt *core.Packet, inPort, egress core.PortID, dep core.Slice, arr core.Slice) {
-	p, ok := s.byPort[egress]
-	if !ok {
+	p := s.portAt(egress)
+	if p == nil {
 		s.dropPkt(pkt, core.DropNoRoute)
 		return
 	}
@@ -231,7 +231,7 @@ func (s *Switch) sendPushBack(srcNode, dstNode core.NodeID, slice core.Slice) {
 		return
 	}
 	s.Counters.PushBacksSent++
-	pb := &core.Packet{
+	pb := s.Pool.NewPacket(core.Packet{
 		ID:        s.rng.Uint64(),
 		Flow:      core.FlowKey{Proto: core.ProtoCtrl},
 		SrcNode:   s.Cfg.ID,
@@ -243,7 +243,7 @@ func (s *Switch) sendPushBack(srcNode, dstNode core.NodeID, slice core.Slice) {
 		CtrlSlice: slice,
 		Created:   s.eng.Now(),
 		TTL:       core.DefaultTTL,
-	}
+	})
 	s.cp.SendTo(srcNode, pb)
 }
 
@@ -298,14 +298,16 @@ func (s *Switch) ctrlIn(pkt *core.Packet) { s.handleCtrl(pkt, core.NoPort) }
 func (s *Switch) handleCtrl(pkt *core.Packet, inPort core.PortID) {
 	switch pkt.Ctrl {
 	case core.CtrlPushBack:
-		// We are the sender switch: relay to every connected host.
+		// We are the sender switch: relay a copy to every connected host;
+		// the original's life ends here.
 		s.Counters.PushBacksRx++
 		for _, h := range s.hosts {
-			cp := *pkt
+			cp := s.Pool.NewPacket(*pkt)
 			cp.Flow.DstHost = h
 			cp.ClearFlowHash()
-			s.toHost(h, &cp)
+			s.toHost(h, cp)
 		}
+		pkt.Free()
 	case core.CtrlOffload:
 		// A host is returning an offloaded packet: restore it and run it
 		// through forwarding with its recorded decision.
@@ -315,7 +317,7 @@ func (s *Switch) handleCtrl(pkt *core.Packet, inPort core.PortID) {
 		}
 		pkt.Ctrl = core.CtrlNone
 		arr := s.localSlice()
-		pkt.ArrSlice = arr
+		pkt.SetArrSlice(arr)
 		if pkt.SRIdx < len(pkt.SR) {
 			h, _ := pkt.NextSR()
 			s.forward(pkt, inPort, h.Egress, h.DepSlice, arr)
@@ -324,18 +326,24 @@ func (s *Switch) handleCtrl(pkt *core.Packet, inPort core.PortID) {
 		s.dropPkt(pkt, core.DropNoRoute)
 	case core.CtrlReport:
 		// Host traffic-collection report: pending bytes toward a
-		// destination node, merged into the collect() matrix.
+		// destination node, merged into the collect() matrix. The report's
+		// life ends here.
 		s.tm.Add(s.Cfg.ID, pkt.CtrlNode, float64(pkt.Echo))
+		pkt.Free()
 	default:
 		// Signals terminate at hosts; a switch receiving one on the data
-		// path forwards it down if addressed to a local host.
+		// path forwards it down if addressed to a local host. Unaddressed
+		// control packets end here (previously they were silently garbage-
+		// collected; with the pool, the free is explicit).
 		if pkt.DstNode == s.Cfg.ID && pkt.Flow.DstHost != core.NoHost {
 			s.toHost(pkt.Flow.DstHost, pkt)
+			return
 		}
+		pkt.Free()
 	}
 }
 
 func (s *Switch) isDownlink(id core.PortID) bool {
-	p, ok := s.byPort[id]
-	return ok && p.kind == portDownlink
+	p := s.portAt(id)
+	return p != nil && p.kind == portDownlink
 }

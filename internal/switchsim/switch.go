@@ -200,12 +200,22 @@ type Switch struct {
 	eng *sim.Engine
 	rng *sim.Rand
 
+	// Pool allocates the switch's own control packets (signals, push-back,
+	// relay copies). Nil is valid: packets fall back to the heap, which is
+	// what device-level tests use.
+	Pool *core.PacketPool
+
 	table *core.Table
 	ix    *core.ConnIndex
 
-	ports      []*outPort
-	byPort     map[core.PortID]*outPort
-	downByHost map[core.HostID]*outPort
+	ports []*outPort
+	// byPort and downByHost are dense lookup tables indexed by port id and
+	// host id (both small, contiguous in every deployment). The forwarding
+	// path resolves a port on every hop; a slice index replaces the map
+	// hash+probe that used to show up in packet-rate profiles. nil = no
+	// such port/host.
+	byPort     []*outPort
+	downByHost []*outPort
 	hosts      []core.HostID
 
 	active    int
@@ -303,7 +313,8 @@ func (s *Switch) AttachMetrics(reg *telemetry.Registry) {
 
 // dropPkt is the single exit point for switch-side drops: it bumps the
 // aggregate counter for the reason, attributes the drop to the packet's
-// arrival slice in the registry, and flushes the packet's in-band trace.
+// arrival slice in the registry, flushes the packet's in-band trace, and
+// returns the packet to its pool — a drop ends the packet's life.
 func (s *Switch) dropPkt(pkt *core.Packet, reason core.DropReason) {
 	switch reason {
 	case core.DropNoRoute:
@@ -318,11 +329,12 @@ func (s *Switch) dropPkt(pkt *core.Packet, reason core.DropReason) {
 		s.Counters.DropsTTL++
 	}
 	if s.met != nil {
-		s.met.drop(reason, pkt.ArrSlice)
+		s.met.drop(reason, pkt.ArrSlice())
 	}
 	if s.Tracer != nil && pkt.Trace != nil {
 		s.Tracer.Drop(pkt, reason, s.Cfg.ID, s.eng.Now())
 	}
+	pkt.Free()
 }
 
 // traceHop appends one in-band hop record to a sampled packet.
@@ -344,8 +356,6 @@ func New(eng *sim.Engine, cfg Config, nodeCount int) *Switch {
 		eng:        eng,
 		rng:        sim.NewRand(cfg.Seed ^ 0x5eed5eed),
 		table:      core.NewTable(),
-		byPort:     make(map[core.PortID]*outPort),
-		downByHost: make(map[core.HostID]*outPort),
 		n:          nodeCount,
 		tm:         core.NewTM(nodeCount),
 		tmTotal:    core.NewTM(nodeCount),
@@ -366,8 +376,28 @@ func (s *Switch) addPort(id core.PortID, kind portKind, host core.HostID, link *
 	p := &outPort{id: id, kind: kind, host: host, link: link,
 		queues: make([]calQueue, nq), estOcc: make([]int64, nq)}
 	s.ports = append(s.ports, p)
+	for int(id) >= len(s.byPort) {
+		s.byPort = append(s.byPort, nil)
+	}
 	s.byPort[id] = p
 	return p
+}
+
+// portAt resolves a port id against the dense table (nil = unknown port,
+// including NoPort).
+func (s *Switch) portAt(id core.PortID) *outPort {
+	if id < 0 || int(id) >= len(s.byPort) {
+		return nil
+	}
+	return s.byPort[id]
+}
+
+// downPortAt resolves a host id to its downlink port (nil = unknown host).
+func (s *Switch) downPortAt(h core.HostID) *outPort {
+	if h < 0 || int(h) >= len(s.downByHost) {
+		return nil
+	}
+	return s.downByHost[h]
 }
 
 // AttachUplink wires optical uplink port id to the fabric-side link.
@@ -377,8 +407,11 @@ func (s *Switch) AttachUplink(id core.PortID, link *fabric.Link) {
 
 // AttachDownlink wires downlink port id to host h.
 func (s *Switch) AttachDownlink(id core.PortID, h core.HostID, link *fabric.Link) {
-	s.addPort(id, portDownlink, h, link)
-	s.downByHost[h] = s.byPort[id]
+	p := s.addPort(id, portDownlink, h, link)
+	for int(h) >= len(s.downByHost) {
+		s.downByHost = append(s.downByHost, nil)
+	}
+	s.downByHost[h] = p
 	s.hosts = append(s.hosts, h)
 }
 
@@ -429,7 +462,7 @@ func (s *Switch) InstallConnIndex(ix *core.ConnIndex) {
 // signalHosts broadcasts a circuit notification to every connected host.
 func (s *Switch) signalHosts(peer core.NodeID, ts core.Slice, kind core.CtrlKind) {
 	for _, h := range s.hosts {
-		sig := &core.Packet{
+		sig := s.Pool.NewPacket(core.Packet{
 			ID:        s.rng.Uint64(),
 			Flow:      core.FlowKey{Proto: core.ProtoCtrl, DstHost: h},
 			SrcNode:   s.Cfg.ID,
@@ -441,7 +474,7 @@ func (s *Switch) signalHosts(peer core.NodeID, ts core.Slice, kind core.CtrlKind
 			CtrlSlice: ts,
 			Created:   s.eng.Now(),
 			TTL:       core.DefaultTTL,
-		}
+		})
 		s.toHost(h, sig)
 	}
 }
@@ -741,8 +774,8 @@ func (s *Switch) broadcastSignals() {
 
 // toHost enqueues a packet on the host's downlink.
 func (s *Switch) toHost(h core.HostID, pkt *core.Packet) {
-	p, ok := s.downByHost[h]
-	if !ok {
+	p := s.downPortAt(h)
+	if p == nil {
 		s.dropPkt(pkt, core.DropNoRoute)
 		return
 	}
@@ -791,7 +824,7 @@ func (s *Switch) BufferUsage(port core.PortID) int64 {
 	if port == core.NoPort {
 		return s.totalBuffered()
 	}
-	if p, ok := s.byPort[port]; ok {
+	if p := s.portAt(port); p != nil {
 		return p.bytes
 	}
 	return 0
@@ -813,7 +846,7 @@ func (s *Switch) BufferPercentile(q float64) float64 { return s.bufferHist.Quant
 // BWUsage implements the bw_usage() telemetry API: bytes transmitted on
 // the port since start.
 func (s *Switch) BWUsage(port core.PortID) uint64 {
-	if p, ok := s.byPort[port]; ok {
+	if p := s.portAt(port); p != nil {
 		return p.txBytes
 	}
 	return 0
@@ -852,7 +885,7 @@ func (s *Switch) ActiveQueue() int { return s.active }
 
 // QueueBytes returns the actual bytes in calendar queue qi of port id.
 func (s *Switch) QueueBytes(id core.PortID, qi int) int64 {
-	if p, ok := s.byPort[id]; ok && qi < len(p.queues) {
+	if p := s.portAt(id); p != nil && qi < len(p.queues) {
 		return p.queues[qi].bytes
 	}
 	return 0
@@ -861,7 +894,7 @@ func (s *Switch) QueueBytes(id core.PortID, qi int) int64 {
 // EstimatedQueueBytes returns the ingress-side EQO register value as the
 // pipeline would read it right now.
 func (s *Switch) EstimatedQueueBytes(id core.PortID, qi int) int64 {
-	if p, ok := s.byPort[id]; ok && qi < len(p.estOcc) {
+	if p := s.portAt(id); p != nil && qi < len(p.estOcc) {
 		return s.eqoRead(p, qi)
 	}
 	return 0

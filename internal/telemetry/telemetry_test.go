@@ -343,7 +343,7 @@ func TestTracerStatsAndDecomposition(t *testing.T) {
 		DepSlice: core.WildcardSlice, DeqNs: 100, TxDoneNs: 110})
 	p1.Trace.AddHop(core.TraceHop{TimeNs: 130, Node: 1, ArrSlice: 0, DepSlice: 1})
 	p1.Trace.MarkDequeued(1, 170, 180)
-	p1.ArrSlice = 2
+	p1.SetArrSlice(2)
 	tr.Deliver(p1, 3, 200)
 
 	// Packet 2: dropped while queued (no dequeue stamp on the last hop).
@@ -351,7 +351,7 @@ func TestTracerStatsAndDecomposition(t *testing.T) {
 	tr.Start(p2, 300)
 	p2.Trace.AddHop(core.TraceHop{TimeNs: 300, Node: 0, ArrSlice: core.WildcardSlice,
 		DepSlice: core.WildcardSlice, DeqNs: 300, TxDoneNs: 310})
-	p2.ArrSlice = 1
+	p2.SetArrSlice(1)
 	tr.Drop(p2, core.DropBuffer, 1, 350)
 
 	st := tr.Stats()
@@ -379,7 +379,7 @@ func TestTracerStatsAndDecomposition(t *testing.T) {
 	tr.OnFinish = func(x *core.PktTrace) { got = x }
 	p3 := &core.Packet{ID: 3, Flow: flow, SrcNode: 0, DstNode: 3, Size: 100}
 	tr.Start(p3, 400)
-	p3.ArrSlice = 5
+	p3.SetArrSlice(5)
 	tr.Drop(p3, core.DropGuard, core.NoNode, 450)
 	if got == nil || got.EndSlice != 5 {
 		t.Fatalf("EndSlice not stamped at finish: %+v", got)

@@ -255,7 +255,7 @@ func (t *Tracer) finish(pkt *core.Packet, disp string, reason core.DropReason, n
 	tr.Reason = reason
 	tr.EndNode = node
 	tr.EndNs = now
-	tr.EndSlice = pkt.ArrSlice
+	tr.EndSlice = pkt.ArrSlice()
 	t.Finished++
 	if disp == core.DispDelivered {
 		t.delivered++

@@ -105,6 +105,11 @@ type Stack struct {
 	receivers map[core.FlowKey]*rcvState
 	udp       map[uint16]func(pkt *core.Packet)
 
+	// Pool, when set, backs every packet this stack emits (segments, ACKs,
+	// datagrams, echo replies) with slab storage. Nil is valid — packets
+	// fall back to the heap, which keeps stack-only unit tests pool-free.
+	Pool *core.PacketPool
+
 	// OnFlowComplete fires when a locally originated flow finishes.
 	OnFlowComplete func(FlowComplete)
 	// OnUDPRtt fires for returned echo probes with the measured RTT.
@@ -230,7 +235,7 @@ func (c *Conn) emit(seq int64) bool {
 	}
 	s := c.stack
 	s.nextID++
-	pkt := &core.Packet{
+	pkt := s.Pool.NewPacket(core.Packet{
 		ID:      s.nextID ^ c.flowHash,
 		Flow:    c.flow,
 		SrcNode: c.srcNode,
@@ -240,7 +245,7 @@ func (c *Conn) emit(seq int64) bool {
 		Seq:     uint32(seq),
 		Created: s.eng.Now(),
 		TTL:     core.DefaultTTL,
-	}
+	})
 	return s.host.Send(pkt)
 }
 
@@ -413,7 +418,7 @@ func (s *Stack) onTCPData(pkt *core.Packet) {
 
 func (s *Stack) sendAck(data *core.Packet, cum int64) {
 	s.nextID++
-	ack := &core.Packet{
+	ack := s.Pool.NewPacket(core.Packet{
 		ID:      s.nextID ^ 0xac4,
 		Flow:    data.Flow.Reverse(),
 		SrcNode: data.DstNode,
@@ -423,7 +428,7 @@ func (s *Stack) sendAck(data *core.Packet, cum int64) {
 		Flags:   core.FlagACK,
 		Created: s.eng.Now(),
 		TTL:     core.DefaultTTL,
-	}
+	})
 	s.host.Send(ack)
 }
 
@@ -434,7 +439,7 @@ func (s *Stack) SendUDP(flow core.FlowKey, srcNode, dstNode core.NodeID, payload
 		panic(fmt.Sprintf("transport: SendUDP with proto %d", flow.Proto))
 	}
 	s.nextID++
-	pkt := &core.Packet{
+	pkt := s.Pool.NewPacket(core.Packet{
 		ID:      s.nextID ^ 0xdd9,
 		Flow:    flow,
 		SrcNode: srcNode,
@@ -444,7 +449,7 @@ func (s *Stack) SendUDP(flow core.FlowKey, srcNode, dstNode core.NodeID, payload
 		Created: s.eng.Now(),
 		Echo:    s.eng.Now(),
 		TTL:     core.DefaultTTL,
-	}
+	})
 	if echo {
 		pkt.Flags |= core.FlagEcho
 	}
@@ -465,7 +470,7 @@ func (s *Stack) onUDP(pkt *core.Packet) {
 		}
 		// Reflect.
 		s.nextID++
-		rep := &core.Packet{
+		rep := s.Pool.NewPacket(core.Packet{
 			ID:      s.nextID ^ 0xec0,
 			Flow:    pkt.Flow.Reverse(),
 			SrcNode: pkt.DstNode,
@@ -476,7 +481,7 @@ func (s *Stack) onUDP(pkt *core.Packet) {
 			Echo:    pkt.Echo,
 			Created: s.eng.Now(),
 			TTL:     core.DefaultTTL,
-		}
+		})
 		s.host.Send(rep)
 		return
 	}

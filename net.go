@@ -25,6 +25,11 @@ type Net struct {
 
 	eng   *sim.Engine
 	sched *core.Schedule
+	// pool is the per-net packet slab pool every device on this Net
+	// allocates from; sinks (delivery, drops) recycle into it. Per-net
+	// rather than global so concurrent sweep jobs in one process never
+	// contend.
+	pool *core.PacketPool
 
 	optical *fabric.OpticalFabric
 	elec    *fabric.ElectricalFabric
@@ -74,8 +79,9 @@ func New(cfg Config) (*Net, error) {
 	}
 	eng := sim.New()
 	n := &Net{
-		Cfg: cfg,
-		eng: eng,
+		Cfg:  cfg,
+		eng:  eng,
+		pool: core.NewPacketPool(),
 		sched: &core.Schedule{
 			NumSlices:     1,
 			SliceDuration: time.Duration(cfg.SliceDurationNs),
@@ -126,6 +132,7 @@ func New(cfg Config) (*Net, error) {
 			Seed:                     cfg.Seed ^ uint64(i)<<16,
 		}, cfg.NodeNum)
 		sw.AttachControlPlane(n.cp)
+		sw.Pool = n.pool
 		n.switches = append(n.switches, sw)
 
 		// Optical uplinks.
@@ -175,6 +182,7 @@ func New(cfg Config) (*Net, error) {
 				lineBps, cfg.PropDelayNs/2+1)
 			sw.AttachDownlink(dp, hid, link)
 			h.AttachLink(link)
+			h.Pool = n.pool
 			n.hosts = append(n.hosts, h)
 			st := transport.NewStack(eng, h, transport.TCPConfig{
 				DupAckThreshold: cfg.DupAckThreshold,
@@ -182,6 +190,7 @@ func New(cfg Config) (*Net, error) {
 				TDTCPDivisions:  cfg.TDTCPDivisions,
 				TDTCPPeriodNs:   cfg.SliceDurationNs,
 			}, cfg.Seed^uint64(hid)<<8)
+			st.Pool = n.pool
 			n.stacks = append(n.stacks, st)
 		}
 	}
@@ -212,6 +221,10 @@ func (n *Net) isExternalPort(_ core.NodeID, p core.PortID) bool {
 
 // Engine exposes the discrete-event engine (applications schedule on it).
 func (n *Net) Engine() *sim.Engine { return n.eng }
+
+// PacketPool exposes the per-net packet slab pool (leak diagnostics; the
+// Outstanding count must be zero once all in-flight packets reach a sink).
+func (n *Net) PacketPool() *core.PacketPool { return n.pool }
 
 // Schedule returns the deployed optical schedule.
 func (n *Net) Schedule() *core.Schedule { return n.sched }

@@ -1,0 +1,122 @@
+package openoptics
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"openoptics/internal/core"
+	"openoptics/internal/traffic"
+)
+
+// These tests pin the packet lifecycle end to end: every packet a run
+// allocates is returned to the pool by a sink — host delivery or a drop
+// site — so a drained simulation leaves zero outstanding packets, and a
+// long steady-state run holds memory flat. A leak here means some code
+// path consumes a packet without freeing it (or frees it twice, which the
+// simdebug pool tests in internal/core catch).
+
+// rotorNetForLeak builds the 4-node RotorNet with VLB routing used by the
+// end-to-end benchmarks.
+func rotorNetForLeak(t testing.TB) *Net {
+	t.Helper()
+	n, err := New(Config{NodeNum: 4, Uplink: 1, SliceDurationNs: 100_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	circuits, numSlices, err := RoundRobin(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeployTopo(circuits, numSlices); err != nil {
+		t.Fatal(err)
+	}
+	paths := n.VLB(circuits, numSlices, RoutingOptions{})
+	if err := n.DeployRouting(paths, LookupHop, MultipathPacket); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPacketPoolNoLeakOpticalRun(t *testing.T) {
+	n := rotorNetForLeak(t)
+	eps := n.Endpoints()
+	traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[2])
+	probe.IntervalNs = 1_000
+	probe.Start(2_000_000) // inject for 2 ms
+	// Run far past the last injection so every in-flight packet reaches a
+	// sink (delivery or drop) and switch queues drain across circuits.
+	n.Run(10 * time.Millisecond)
+	st := n.PacketPool().Stats()
+	if st.Gets == 0 {
+		t.Fatal("no pooled packets were allocated — probe not wired to the pool?")
+	}
+	if st.Outstanding != 0 {
+		t.Fatalf("packet leak after drained optical run: %d outstanding (gets=%d puts=%d)",
+			st.Outstanding, st.Gets, st.Puts)
+	}
+}
+
+func TestPacketPoolNoLeakElectricalRun(t *testing.T) {
+	n, err := New(Config{NodeNum: 4, Uplink: 1, ElectricalGbps: 100, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := n.ElectricalPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.DeployRouting(paths, LookupHop, MultipathNone); err != nil {
+		t.Fatal(err)
+	}
+	eps := n.Endpoints()
+	traffic.NewSink(eps)
+	flow := core.FlowKey{SrcHost: eps[1].Host, DstHost: eps[3].Host,
+		SrcPort: 9, DstPort: traffic.PortReplay, Proto: core.ProtoTCP}
+	conn := eps[1].Stack.OpenTCP(flow, eps[1].Node, eps[3].Node, 500_000)
+	n.Run(50 * time.Millisecond)
+	if !conn.Done() {
+		t.Fatalf("flow incomplete: acked=%d", conn.Acked())
+	}
+	st := n.PacketPool().Stats()
+	if st.Gets == 0 {
+		t.Fatal("no pooled packets were allocated")
+	}
+	if st.Outstanding != 0 {
+		t.Fatalf("packet leak after drained electrical run: %d outstanding (gets=%d puts=%d)",
+			st.Outstanding, st.Gets, st.Puts)
+	}
+}
+
+// TestSteadyStateMemoryFlat pins the tentpole's long-run property: once
+// the pool and scheduler have warmed up, continued simulation does not
+// grow the heap — packets recycle through slabs and events through the
+// wheel, so HeapAlloc after GC stays flat no matter how long the run.
+func TestSteadyStateMemoryFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long-run memory test")
+	}
+	n := rotorNetForLeak(t)
+	eps := n.Endpoints()
+	traffic.NewSink(eps)
+	probe := traffic.NewUDPProbe(n.Engine(), eps[0], eps[2])
+	probe.IntervalNs = 1_000
+	probe.Start(1 << 62)
+	// Warm up: materialize slabs, scheduler arrays, telemetry buffers.
+	n.Run(20 * time.Millisecond)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	n.Run(100 * time.Millisecond)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	// Allow a small absolute slack for lazily-grown runtime structures;
+	// a real leak at this packet rate (≈100k packets over the window)
+	// would grow the heap by megabytes.
+	const slack = 256 << 10
+	if after.HeapAlloc > before.HeapAlloc+slack {
+		t.Fatalf("heap grew %.1f KiB over a 100 ms steady-state run (before=%d after=%d)",
+			float64(after.HeapAlloc-before.HeapAlloc)/1024, before.HeapAlloc, after.HeapAlloc)
+	}
+}
