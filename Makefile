@@ -1,5 +1,5 @@
 # Tier-1: what every change must keep green.
-.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke trace-smoke regress-smoke daware-smoke
+.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke trace-smoke regress-smoke daware-smoke engine-smoke
 
 build:
 	go build ./...
@@ -66,3 +66,10 @@ regress-smoke:
 # loop's counters must reach the exported metrics. CI runs this.
 daware-smoke:
 	bash scripts/daware_smoke.sh
+
+# Engine-observatory smoke: oosim with the causality ledger + 4-way shard
+# profile on the 16-node acceptance topology, every `ooctl engine` view
+# byte-deterministic, the merge analysis naming concrete savings, and the
+# ledger-off hot path held to its allocation ceiling. CI runs this.
+engine-smoke:
+	bash scripts/engine_smoke.sh

@@ -27,6 +27,7 @@ import (
 
 	"openoptics/experiments"
 	"openoptics/internal/compare"
+	"openoptics/internal/engineobs"
 	"openoptics/internal/obsv"
 	"openoptics/internal/provenance"
 	"openoptics/internal/runner"
@@ -93,6 +94,7 @@ func run() (code int) {
 	httpAddr := flag.String("http", "", "serve live observability for the currently running network on this address")
 	jsonOut := flag.String("json", "", "write a machine-readable benchmark report (per-experiment wall time + allocator deltas) to this file")
 	reps := flag.Int("reps", 1, "repetitions per experiment for -json (>= 2 enables significance testing in ooctl compare)")
+	engineLedger := flag.Bool("engine-ledger", false, "attach the event-causality ledger to every built network (measures ledger overhead via -json wall time)")
 	version := flag.Bool("version", false, "print build provenance and exit")
 	flag.Parse()
 	if *version {
@@ -110,12 +112,14 @@ func run() (code int) {
 	var (
 		engMu    sync.Mutex
 		engines  []*sim.Engine
+		repNets  []*openoptics.Net // networks built during the current -json rep
 		stopping bool
 	)
 	track := func(n *openoptics.Net) {
 		e := n.Engine()
 		engMu.Lock()
 		engines = append(engines, e)
+		repNets = append(repNets, n)
 		if stopping {
 			e.Interrupt()
 		}
@@ -227,6 +231,9 @@ func run() (code int) {
 	openoptics.Observe = func(n *openoptics.Net) {
 		track(n)
 		lastNet = n
+		if *engineLedger {
+			n.AttachEngineLedger(64)
+		}
 		if *metricsOut != "" {
 			// Build before traffic so per-slice counters record.
 			n.Metrics().SetManifest(&manifest)
@@ -310,6 +317,9 @@ func run() (code int) {
 		br := compare.BenchResult{Name: id, Reps: *reps}
 		ok := true
 		for rep := 0; rep < *reps; rep++ {
+			engMu.Lock()
+			repNets = repNets[:0]
+			engMu.Unlock()
 			var m0, m1 runtime.MemStats
 			runtime.ReadMemStats(&m0)
 			start := time.Now()
@@ -325,6 +335,17 @@ func run() (code int) {
 			br.WallNs = append(br.WallNs, float64(wall.Nanoseconds()))
 			br.AllocBytes = append(br.AllocBytes, float64(m1.TotalAlloc-m0.TotalAlloc))
 			br.Allocs = append(br.Allocs, float64(m1.Mallocs-m0.Mallocs))
+			// Engine totals over every network this rep built — the
+			// events/packet ratio the observatory pins in BENCH_core.json.
+			var evs, pkts uint64
+			engMu.Lock()
+			for _, n := range repNets {
+				evs += n.Engine().Processed
+				pkts += n.PoolStats().Gets
+			}
+			engMu.Unlock()
+			br.Events = append(br.Events, float64(evs))
+			br.EventsPerPacket = append(br.EventsPerPacket, engineobs.EventsPerPacketOf(evs, pkts))
 			if rep == *reps-1 {
 				fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", id, r.desc, wall.Seconds(), res)
 			}

@@ -18,6 +18,12 @@
 // entry point, exiting 3 when a candidate regresses against a committed
 // baseline (compare.go).
 //
+// It also fronts the engine observatory: `ooctl engine
+// <chains|pressure|shards>` reads the report written by `oosim -engine-out`
+// and renders the event-causality ledger with its merge analysis, the
+// scheduler-pressure counters, or the sharding-feasibility matrix
+// (engine.go).
+//
 // Usage:
 //
 //	ooctl -n 8 -uplink 2 -topo roundrobin -routing vlb -lookup hop
@@ -28,6 +34,8 @@
 //	ooctl trace export -o run.perfetto.json run.trace.jsonl
 //	ooctl compare before/summary.json after/summary.json
 //	ooctl regress -baseline testdata/baselines/regress_base.summary.json run/summary.json
+//	ooctl engine chains run.engine.json
+//	ooctl engine shards run.engine.json
 package main
 
 import (
@@ -55,6 +63,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "regress" {
 		os.Exit(runRegress(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "engine" {
+		os.Exit(runEngine(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && (os.Args[1] == "-version" || os.Args[1] == "--version" || os.Args[1] == "version") {
 		fmt.Println(provenance.VersionString("ooctl"))

@@ -40,8 +40,9 @@ func runWatch(args []string) int {
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: 5 * time.Second}
 
+	rates := &watchRates{}
 	for {
-		frame, err := fetchFrame(client, base)
+		frame, err := fetchFrame(client, base, rates)
 		if err != nil {
 			if *once {
 				fmt.Fprintln(os.Stderr, "ooctl: watch:", err)
@@ -61,9 +62,50 @@ func runWatch(args []string) int {
 	}
 }
 
+// watchRates derives events/sec and packets/sec between successive frames
+// from the poller's wall clock. Nil (or a first frame) renders no rate.
+type watchRates struct {
+	lastWall   time.Time
+	lastEvents uint64
+	lastPkts   uint64
+	have       bool
+}
+
+// observe returns the rate suffix for this frame and records it as the new
+// baseline.
+func (r *watchRates) observe(s *openoptics.NetSnapshot) string {
+	if r == nil {
+		return ""
+	}
+	now := time.Now()
+	defer func() {
+		r.lastWall, r.lastEvents, r.lastPkts, r.have = now, s.Events, s.Pool.Gets, true
+	}()
+	dt := now.Sub(r.lastWall).Seconds()
+	if !r.have || dt <= 0 || s.Events < r.lastEvents {
+		return ""
+	}
+	return fmt.Sprintf("  %s ev/s  %s pkt/s",
+		siRate(float64(s.Events-r.lastEvents)/dt),
+		siRate(float64(s.Pool.Gets-r.lastPkts)/dt))
+}
+
+// siRate formats a per-second rate with k/M suffixes.
+func siRate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
 // fetchFrame renders one watch frame: the network snapshot when the server
-// publishes one, otherwise the sweep progress tally.
-func fetchFrame(client *http.Client, base string) (string, error) {
+// publishes one, otherwise the sweep progress tally. rates (nilable) adds
+// events/sec derived from the previous frame.
+func fetchFrame(client *http.Client, base string, rates *watchRates) (string, error) {
 	body, status, err := get(client, base+"/snapshot")
 	if err != nil {
 		return "", err
@@ -73,7 +115,7 @@ func fetchFrame(client *http.Client, base string) (string, error) {
 		if err := json.Unmarshal(body, &snap); err != nil {
 			return "", fmt.Errorf("decoding /snapshot: %w", err)
 		}
-		return renderSnapshot(&snap), nil
+		return renderSnapshot(&snap, rates.observe(&snap)), nil
 	}
 	// No snapshot published (e.g. an oosweep server): try the progress
 	// endpoint before giving up.
@@ -105,12 +147,22 @@ func get(client *http.Client, url string) ([]byte, int, error) {
 // readable; queues beyond it are folded into a "rest" column.
 const maxQueueCols = 8
 
-// renderSnapshot formats the per-switch/per-slice occupancy and drop table.
-func renderSnapshot(s *openoptics.NetSnapshot) string {
+// renderSnapshot formats the per-switch/per-slice occupancy and drop table
+// plus an engine-health line. rateSuffix (possibly empty) carries the
+// poller-derived events/sec.
+func renderSnapshot(s *openoptics.NetSnapshot, rateSuffix string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "t=%.3f ms  slice %d/%d  events %d  circuits %d  epoch %d  reconfigs %d\n",
 		float64(s.TimeNs)/1e6, s.Slice, s.NumSlices, s.Events, len(s.Optical.Circuits),
 		s.Epoch, s.Reconfigs)
+	e := s.Engine
+	spillPct := 0.0
+	if pushes := e.InlinePushes + e.SpillPushes + e.OverflowPushes; pushes > 0 {
+		spillPct = 100 * float64(e.SpillPushes+e.OverflowPushes) / float64(pushes)
+	}
+	fmt.Fprintf(&b, "engine: pending %d (max wheel %d)  spill %.2f%%  resorts %d  pool %d live / %d hw / %d slabs%s\n",
+		e.PendingEvents, e.MaxWheelEvents, spillPct, e.Resorts,
+		s.Pool.Outstanding, s.Pool.HighWater, s.Pool.Slabs, rateSuffix)
 
 	// Per-switch uplink occupancy summed per calendar-queue index.
 	k := 0

@@ -42,6 +42,14 @@ func cannedSnapshot() *openoptics.NetSnapshot {
 	s.Totals.TxPkts = 9
 	s.Totals.Delivered = 8
 	s.Totals.DropsCongest = 2
+	s.Engine.PendingEvents = 17
+	s.Engine.MaxWheelEvents = 42
+	s.Engine.InlinePushes = 900
+	s.Engine.SpillPushes = 100
+	s.Pool.Gets = 500
+	s.Pool.Outstanding = 3
+	s.Pool.HighWater = 7
+	s.Pool.Slabs = 1
 	return s
 }
 
@@ -61,7 +69,7 @@ func TestWatchRendersSnapshot(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	frame, err := fetchFrame(&http.Client{Timeout: time.Second}, srv.URL)
+	frame, err := fetchFrame(&http.Client{Timeout: time.Second}, srv.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,10 +82,42 @@ func TestWatchRendersSnapshot(t *testing.T) {
 		"1500*",           // active queue marked
 		"drops",           // column header
 		"totals: rx 10  tx 9  delivered 8  drops 2",
+		"engine: pending 17 (max wheel 42)", // scheduler-pressure line
+		"spill 10.00%",                      // spill share of pushes
+		"pool 3 live / 7 hw / 1 slabs",      // packet-pool occupancy
 	} {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q:\n%s", want, frame)
 		}
+	}
+}
+
+func TestWatchRatesBetweenFrames(t *testing.T) {
+	snap := cannedSnapshot()
+	r := &watchRates{}
+	// First observation establishes the baseline: no rate yet.
+	if got := r.observe(snap); got != "" {
+		t.Fatalf("first frame should carry no rate, got %q", got)
+	}
+	// Simulate one second elapsing and 2M events / 10k packets of progress.
+	r.lastWall = time.Now().Add(-time.Second)
+	next := *snap
+	next.Events += 2_000_000
+	next.Pool.Gets += 10_000
+	got := r.observe(&next)
+	if !strings.Contains(got, "ev/s") || !strings.Contains(got, "pkt/s") {
+		t.Fatalf("rate suffix missing units: %q", got)
+	}
+	if !strings.Contains(got, "M ev/s") {
+		t.Errorf("expected mega events rate, got %q", got)
+	}
+	if !strings.Contains(got, "k pkt/s") {
+		t.Errorf("expected kilo packet rate, got %q", got)
+	}
+	// A restarted server (events moving backwards) must not render a
+	// negative rate.
+	if got := r.observe(snap); got != "" {
+		t.Errorf("backwards counters should suppress the rate, got %q", got)
 	}
 }
 
@@ -100,7 +140,7 @@ func TestWatchFallsBackToProgress(t *testing.T) {
 	}))
 	defer srv.Close()
 
-	frame, err := fetchFrame(&http.Client{Timeout: time.Second}, srv.URL)
+	frame, err := fetchFrame(&http.Client{Timeout: time.Second}, srv.URL, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +157,7 @@ func TestWatchErrorsWhenNothingServed(t *testing.T) {
 		http.Error(w, "nope", http.StatusServiceUnavailable)
 	}))
 	defer srv.Close()
-	if _, err := fetchFrame(&http.Client{Timeout: time.Second}, srv.URL); err == nil {
+	if _, err := fetchFrame(&http.Client{Timeout: time.Second}, srv.URL, nil); err == nil {
 		t.Fatal("expected an error when neither endpoint is published")
 	}
 }

@@ -59,6 +59,10 @@ func run() int {
 	traceOut := flag.String("trace-out", "", "write sampled in-band packet traces as JSONL")
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of flows traced (with -trace-out)")
 	profile := flag.Bool("profile", false, "collect per-handler-class wall-clock profiling")
+	engineLedger := flag.Bool("engine-ledger", false, "record the event-causality ledger (see ooctl engine chains)")
+	engineLedgerSample := flag.Uint64("engine-ledger-sample", 64, "capture one full chain per this many root events (power of two)")
+	enginePartitions := flag.Int("engine-partitions", 0, "profile cross-partition event flow for this many ToR-group shards (0 disables)")
+	engineOut := flag.String("engine-out", "", "write the engine-observatory report (JSON) at exit")
 	progressMs := flag.Int("progress-ms", 0, "print a virtual/real speed report every N virtual ms")
 	httpAddr := flag.String("http", "", "serve live observability (metrics, snapshot, pprof) on this address")
 	httpIntervalUs := flag.Int("http-interval-us", 1000, "virtual µs between live publications (with -http)")
@@ -194,6 +198,12 @@ func run() int {
 	if *profile {
 		eng.EnableProfiling(true)
 	}
+	if *engineLedger {
+		in.Net.AttachEngineLedger(*engineLedgerSample)
+	}
+	if *enginePartitions > 0 {
+		in.Net.EnableShardProfile(*enginePartitions)
+	}
 	if *progressMs > 0 {
 		eng.ReportProgress(int64(*progressMs)*1e6, func(p sim.Progress) bool {
 			fmt.Fprintf(os.Stderr, "progress: virtual %.1f ms, %d events, %.3fx real time\n",
@@ -303,6 +313,11 @@ func run() int {
 			return fail(err)
 		}
 	}
+	if *engineOut != "" {
+		if err := writeEngineReport(in.Net, &manifest, *engineOut); err != nil {
+			return fail(err)
+		}
+	}
 	if eng.Interrupted() {
 		fmt.Fprintln(os.Stderr, "oosim: run interrupted; partial results above")
 		return 130
@@ -324,6 +339,19 @@ func writeMetrics(n *openoptics.Net, path string) error {
 		return n.Metrics().WriteJSON(w)
 	}
 	return n.Metrics().WritePrometheus(w)
+}
+
+// writeEngineReport writes the engine-observatory report for `ooctl
+// engine`. The report body is deterministic for identical runs; only the
+// manifest carries wall-clock identity.
+func writeEngineReport(n *openoptics.Net, m *provenance.Manifest, path string) error {
+	r := n.EngineReport()
+	r.Manifest = m
+	body, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(body, '\n'), 0o644)
 }
 
 func buildArch(name string, o arch.Options, dc arch.DemandConfig) (*arch.Instance, error) {

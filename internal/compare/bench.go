@@ -25,4 +25,10 @@ type BenchResult struct {
 	// Mallocs) over each repetition — cumulative totals, not live heap.
 	AllocBytes []float64 `json:"alloc_bytes"`
 	Allocs     []float64 `json:"allocs"`
+	// Events and EventsPerPacket are engine totals summed over every
+	// network the repetition built: events executed, and events per
+	// allocated packet (the engine-observatory headline ratio). Absent in
+	// reports from older oobench builds.
+	Events          []float64 `json:"events,omitempty"`
+	EventsPerPacket []float64 `json:"events_per_packet,omitempty"`
 }

@@ -339,16 +339,24 @@ func compareBench(rep *Report, before, after *BenchReport, opt Options) {
 		sd := ScenarioDelta{Scenario: b.Name, DigestMatch: true}
 		for _, m := range []struct {
 			name string
+			dir  string
 			x, y []float64
 		}{
-			{"wall_ns", b.WallNs, a.WallNs},
-			{"alloc_bytes", b.AllocBytes, a.AllocBytes},
-			{"allocs", b.Allocs, a.Allocs},
+			{"wall_ns", LowerBetter, b.WallNs, a.WallNs},
+			{"alloc_bytes", LowerBetter, b.AllocBytes, a.AllocBytes},
+			{"allocs", LowerBetter, b.Allocs, a.Allocs},
+			// Engine totals describe the workload, not its cost — they are
+			// reported (so events/packet shifts are visible) but never gate.
+			{"events", Neutral, b.Events, a.Events},
+			{"events_per_packet", Neutral, b.EventsPerPacket, a.EventsPerPacket},
 		} {
-			if allZero(m.x) && allZero(m.y) {
+			// Skip a metric absent on *either* side: older reports predate
+			// the engine-total fields, and a one-sided "+Inf%" row reads as
+			// a shift when it is really a schema difference.
+			if allZero(m.x) || allZero(m.y) {
 				continue
 			}
-			sd.Metrics = append(sd.Metrics, testMetric(m.name, LowerBetter, m.x, m.y, opt))
+			sd.Metrics = append(sd.Metrics, testMetric(m.name, m.dir, m.x, m.y, opt))
 		}
 		rep.Scenarios = append(rep.Scenarios, sd)
 	}

@@ -49,6 +49,7 @@ type PacketPool struct {
 	next  int32      // slots materialized so far
 
 	outstanding int
+	highWater   int // most packets live at once over the pool's lifetime
 	gets, puts  uint64
 	grows       uint64
 }
@@ -56,14 +57,23 @@ type PacketPool struct {
 // NewPacketPool returns an empty pool; slabs materialize on demand.
 func NewPacketPool() *PacketPool { return &PacketPool{} }
 
-// PoolStats is a point-in-time snapshot of pool behaviour.
+// PoolStats is a point-in-time snapshot of pool behaviour (JSON tags for
+// the /snapshot endpoint).
 type PoolStats struct {
 	// Gets and Puts count allocations and frees over the pool's lifetime.
-	Gets, Puts uint64
-	// Slabs is the number of slabs materialized.
-	Slabs int
-	// Outstanding is the number of live (allocated, not yet freed) packets.
-	Outstanding int
+	Gets uint64 `json:"gets"`
+	Puts uint64 `json:"puts"`
+	// Slabs is the number of slabs materialized; Grows counts slab
+	// materializations (equal to Slabs unless a future pool shrinks).
+	Slabs int    `json:"slabs"`
+	Grows uint64 `json:"grows"`
+	// Outstanding is the number of live (allocated, not yet freed) packets;
+	// HighWater is the most ever live at once — the run's true working set,
+	// which sizes how much slab memory a topology actually needs.
+	Outstanding int `json:"outstanding"`
+	HighWater   int `json:"high_water"`
+	// FreeLen is the current free-list depth (recycled slots awaiting reuse).
+	FreeLen int `json:"free_len"`
 }
 
 // Stats returns the pool's counters (nil-safe: a nil pool reports zeros).
@@ -71,7 +81,15 @@ func (pl *PacketPool) Stats() PoolStats {
 	if pl == nil {
 		return PoolStats{}
 	}
-	return PoolStats{Gets: pl.gets, Puts: pl.puts, Slabs: len(pl.slabs), Outstanding: pl.outstanding}
+	return PoolStats{
+		Gets:        pl.gets,
+		Puts:        pl.puts,
+		Slabs:       len(pl.slabs),
+		Grows:       pl.grows,
+		Outstanding: pl.outstanding,
+		HighWater:   pl.highWater,
+		FreeLen:     len(pl.freeL),
+	}
 }
 
 // Outstanding returns the number of live packets — allocations minus
@@ -127,6 +145,9 @@ func (pl *PacketPool) NewPacket(tmpl Packet) *Packet {
 	p.arrSlice, p.flowHash = 0, 0
 	pl.arr[idx], pl.hash[idx] = av, hv
 	pl.outstanding++
+	if pl.outstanding > pl.highWater {
+		pl.highWater = pl.outstanding
+	}
 	pl.gets++
 	return p
 }

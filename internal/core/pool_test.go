@@ -134,3 +134,38 @@ func TestPacketPoolZeroAllocSteadyState(t *testing.T) {
 		t.Fatalf("steady-state alloc/free cycle allocates %.2f objects/op, want 0", avg)
 	}
 }
+
+func TestPacketPoolHighWaterAndFreeLen(t *testing.T) {
+	pl := NewPacketPool()
+	var live []*Packet
+	for i := 0; i < 3; i++ {
+		live = append(live, pl.NewPacket(Packet{Size: 100}))
+	}
+	st := pl.Stats()
+	if st.Outstanding != 3 || st.HighWater != 3 || st.FreeLen != 0 {
+		t.Fatalf("after 3 allocs: %+v", st)
+	}
+	live[0].Free()
+	live[1].Free()
+	// The high-water mark is sticky: freeing does not lower it, and a
+	// smaller working set does not raise it.
+	pl.NewPacket(Packet{Size: 200})
+	st = pl.Stats()
+	if st.Outstanding != 2 || st.HighWater != 3 {
+		t.Fatalf("high water must persist: %+v", st)
+	}
+	if st.FreeLen != 1 {
+		t.Fatalf("free list depth = %d, want 1 (one of two freed slots recycled)", st.FreeLen)
+	}
+	// A new peak pushes it up.
+	for i := 0; i < 4; i++ {
+		pl.NewPacket(Packet{Size: 300})
+	}
+	if st = pl.Stats(); st.HighWater != 6 || st.Outstanding != 6 {
+		t.Fatalf("new peak: %+v", st)
+	}
+	// Nil pools report zeros.
+	if st = (*PacketPool)(nil).Stats(); st != (PoolStats{}) {
+		t.Fatalf("nil pool stats = %+v", st)
+	}
+}

@@ -37,6 +37,16 @@ type Engine struct {
 	classCount [NumClasses]uint64
 	classWall  [NumClasses]int64
 	profiling  bool
+
+	// Event-causality ledger (ledger.go): nil when detached, one branch
+	// per scheduled event and per dispatch. The dispatch-context fields
+	// below are only written while a ledger is attached.
+	ledger      *Ledger
+	inDispatch  bool
+	curClass    Class
+	curChain    int32
+	curKids     int32
+	chainHanded bool
 }
 
 // New returns an engine with the clock at zero.
@@ -66,7 +76,11 @@ func (e *Engine) AtClass(t int64, class Class, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	e.sched.push(t, e.seq, eventRec{fn: fn, class: class})
+	var chain int32
+	if e.ledger != nil {
+		chain = e.ledgerSchedule(t, class)
+	}
+	e.sched.push(t, e.seq, eventRec{fn: fn, class: class, chain: chain})
 }
 
 // AtEvent schedules a pre-bound action at time t: at dispatch, act.RunEvent
@@ -87,7 +101,11 @@ func (e *Engine) AtEvent(t int64, class Class, act Action, arg any, v int64) {
 		t = e.now
 	}
 	e.seq++
-	e.sched.push(t, e.seq, eventRec{act: act, arg: arg, v: v, class: class})
+	var chain int32
+	if e.ledger != nil {
+		chain = e.ledgerSchedule(t, class)
+	}
+	e.sched.push(t, e.seq, eventRec{act: act, arg: arg, v: v, class: class, chain: chain})
 }
 
 // AfterEvent is AtEvent d nanoseconds from now.
@@ -273,6 +291,10 @@ func (e *Engine) RunUntil(deadline int64) {
 // clock attribution while profiling).
 func (e *Engine) dispatch(rec eventRec) {
 	e.classCount[rec.class]++
+	if e.ledger != nil {
+		e.dispatchLedgered(rec)
+		return
+	}
 	if e.profiling {
 		start := time.Now()
 		if rec.fn != nil {

@@ -1,0 +1,105 @@
+package sim
+
+import "testing"
+
+// Satellite coverage for ProfileStats under batched bucket dispatch: the
+// drainSortMin threshold decides whether a bucket drains through the
+// sorted-batch path or item-by-item, and per-class event counts and
+// wall-time attribution must not depend on which path ran. drainSortMin is
+// a var precisely so these tests can force both regimes.
+
+// batchWorkload runs a fixed mixed-class workload — five instants with
+// eight same-instant events each, plus drain-triggered cascades — and
+// returns the per-class profile.
+func batchWorkload() []ClassStats {
+	e := New()
+	e.EnableProfiling(true)
+	classes := []Class{ClassLinkDeliver, ClassSwitchIngress, ClassSwitchDrain, ClassHostTx}
+	spin := 0
+	for i := 0; i < 40; i++ {
+		c := classes[i%len(classes)]
+		t0 := int64((i % 5) * 100)
+		e.AtClass(t0, c, func() {
+			// Enough work that wall-time attribution is measurable.
+			for k := 0; k < 2000; k++ {
+				spin += k
+			}
+			if c == ClassSwitchDrain {
+				e.AfterClass(50, ClassLinkDeliver, func() {})
+			}
+		})
+	}
+	e.Run()
+	_ = spin
+	return e.ProfileStats()
+}
+
+func countsOf(stats []ClassStats) map[Class]uint64 {
+	m := map[Class]uint64{}
+	for _, s := range stats {
+		m[s.Class] = s.Count
+	}
+	return m
+}
+
+func TestProfileStatsInvariantUnderBatchedDispatch(t *testing.T) {
+	saved := drainSortMin
+	defer func() { drainSortMin = saved }()
+
+	// drainSortMin=1 forces every bucket through the sorted-batch path;
+	// a large threshold forces item-by-item dispatch; 8 sits on the
+	// workload's bucket depth boundary.
+	results := map[int][]ClassStats{}
+	for _, threshold := range []int{1, 8, 1 << 20} {
+		drainSortMin = threshold
+		results[threshold] = batchWorkload()
+	}
+
+	base := countsOf(results[1])
+	if len(base) == 0 {
+		t.Fatal("workload produced no profiled classes")
+	}
+	if base[ClassLinkDeliver] != 20 || base[ClassSwitchDrain] != 10 {
+		t.Fatalf("unexpected baseline counts %v (want 10 drains spawning 10 extra link.delivers)", base)
+	}
+	for _, threshold := range []int{8, 1 << 20} {
+		got := countsOf(results[threshold])
+		if len(got) != len(base) {
+			t.Fatalf("drainSortMin=%d: class set %v differs from baseline %v", threshold, got, base)
+		}
+		for c, n := range base {
+			if got[c] != n {
+				t.Fatalf("drainSortMin=%d: class %s count %d, want %d", threshold, c, got[c], n)
+			}
+		}
+	}
+	// Wall-time attribution follows the same classes in every regime: each
+	// profiled class accumulated measurable time.
+	for threshold, stats := range results {
+		for _, s := range stats {
+			if s.WallNs <= 0 {
+				t.Fatalf("drainSortMin=%d: class %s count=%d but wall=%d",
+					threshold, s.Class, s.Count, s.WallNs)
+			}
+		}
+	}
+}
+
+// TestProfileStatsDeterministicAcrossRuns: the same workload at the same
+// threshold yields identical per-class counts run-to-run (wall time is
+// real time and may differ).
+func TestProfileStatsDeterministicAcrossRuns(t *testing.T) {
+	saved := drainSortMin
+	defer func() { drainSortMin = saved }()
+	drainSortMin = 8
+	a := countsOf(batchWorkload())
+	b := countsOf(batchWorkload())
+	if len(a) != len(b) {
+		t.Fatalf("class sets differ: %v vs %v", a, b)
+	}
+	for c, n := range a {
+		if b[c] != n {
+			t.Fatalf("class %s: %d vs %d across identical runs", c, n, b[c])
+		}
+	}
+}

@@ -79,6 +79,9 @@ type eventRec struct {
 	arg   any
 	v     int64
 	class Class
+	// chain is the causality-ledger chain id this event extends (0 = none;
+	// always 0 when no ledger is attached). See ledger.go.
+	chain int32
 }
 
 // bucketInline is the per-bucket inline capacity. The hot pattern is a
@@ -179,6 +182,19 @@ type scheduler struct {
 	anchorGen uint64
 
 	n int // total queued events
+
+	// Pressure telemetry (pressure.go): always collected — a handful of
+	// integer operations per push keeps the cost in the noise, and having
+	// the counters unconditionally live means `ooctl engine pressure` and
+	// /snapshot never need a flag flip to explain a slow run.
+	inlinePushes   uint64 // pushes landing in a bucket's inline array
+	spillPushes    uint64 // pushes landing in a bucket's spill heap
+	overflowPushes uint64 // pushes landing in the overflow heap
+	migrations     uint64 // overflow→wheel migrations (drain)
+	resorts        uint64 // drain-buffer sorts (beginDrain deep path)
+	occ            [occBuckets]uint64
+	maxWheel       int // high-water wheel residency
+	maxOverflow    int // high-water overflow residency
 }
 
 func satAdd(a, b int64) int64 {
@@ -213,14 +229,28 @@ func (s *scheduler) push(t int64, seq uint64, rec eventRec) {
 		s.anchor(t)
 	}
 	if t >= s.cursorStart && t < s.wheelEnd {
-		s.wheel[int(t>>wheelShift)&wheelMask].push(it)
+		b := &s.wheel[int(t>>wheelShift)&wheelMask]
+		if b.ni == bucketInline {
+			s.spillPushes++
+		} else {
+			s.inlinePushes++
+		}
+		b.push(it)
+		s.occ[occIndex(b.size())]++
 		s.wheelCount++
+		if s.wheelCount > s.maxWheel {
+			s.maxWheel = s.wheelCount
+		}
 	} else {
 		// Far future — or, rarely, between "now" and a wheel window that
 		// jumped ahead (idle engine at a deadline with a distant timer
 		// pending). Both cases are correct here: the run loop always
 		// compares the overflow top against the wheel candidate.
+		s.overflowPushes++
 		s.overflow.push(it)
+		if len(s.overflow) > s.maxOverflow {
+			s.maxOverflow = len(s.overflow)
+		}
 	}
 	s.n++
 }
@@ -277,8 +307,10 @@ func (s *scheduler) takeOverflow() (t int64, rec eventRec) {
 // Shallow buckets (the common case at small scale — standing event
 // populations of tens) pop faster than they sort; deep buckets (large
 // fan-out topologies parking hundreds of contemporaneous events per
-// bucket) amortize one sort against a heap sift per event.
-const drainSortMin = 16
+// bucket) amortize one sort against a heap sift per event. A variable
+// (not a const) so tests can force both regimes and assert dispatch order
+// and profile attribution are batch-size invariant.
+var drainSortMin = 16
 
 // beginDrain prepares bucket b for a batched drain. Deep buckets move into
 // the drain buffer, sorted ascending by (t, seq), leaving b empty (spill
@@ -296,6 +328,7 @@ func (s *scheduler) beginDrain(b *bucket) {
 	s.drainBuf = append(s.drainBuf, b.spill...)
 	b.ni = 0
 	b.spill = b.spill[:0]
+	s.resorts++
 	slices.SortFunc(s.drainBuf, func(a, b item) int {
 		if itemLess(a, b) {
 			return -1
@@ -346,7 +379,11 @@ func (s *scheduler) drain() {
 		}
 		it := s.overflow.pop()
 		s.wheel[int(t>>wheelShift)&wheelMask].push(it)
+		s.migrations++
 		s.wheelCount++
+		if s.wheelCount > s.maxWheel {
+			s.maxWheel = s.wheelCount
+		}
 	}
 }
 

@@ -1,0 +1,157 @@
+package sim
+
+import "math"
+
+// ShardProfile measures how a run's event flow would decompose under a
+// partitioned (PDES) engine, before any engine is actually partitioned:
+// devices are assigned to partitions (per ToR group — see
+// Net.EnableShardProfile), and every cross-device event hop records a
+// (source partition, destination partition, propagation delay) triple.
+// The result is the feasibility evidence ROADMAP item 1 asks for — the
+// cross-partition event-flow matrix says how much traffic would cross
+// shard boundaries, and the minimum cross-partition delay is exactly the
+// conservative-synchronization lookahead: a shard may safely run that far
+// ahead of its peers before an inbound event could possibly arrive.
+//
+// Recording sites live where hops are scheduled (fabric links, optical
+// relay, electrical pipeline, control plane), behind the same nil-check
+// discipline as the tracer and the ledger: a nil profile costs one branch
+// per hop.
+
+// lookBuckets sizes the lookahead histogram: log2-ns delay classes.
+const lookBuckets = 32
+
+// ShardProfile accumulates the cross-partition event-flow matrix and
+// lookahead histogram. Not safe for concurrent use (the engine is
+// single-threaded; so are all recording sites).
+type ShardProfile struct {
+	parts int
+	flow  []uint64 // parts×parts hop counts, row = source partition
+	minNs []int64  // parts×parts min cross-partition delay (MaxInt64 = none)
+	hist  [lookBuckets]uint64
+	local uint64 // hops within one partition
+	cross uint64 // hops between partitions
+	minAll int64 // global min cross-partition delay
+}
+
+// NewShardProfile returns a profile over `parts` partitions (≥1).
+func NewShardProfile(parts int) *ShardProfile {
+	if parts < 1 {
+		parts = 1
+	}
+	p := &ShardProfile{
+		parts:  parts,
+		flow:   make([]uint64, parts*parts),
+		minNs:  make([]int64, parts*parts),
+		minAll: math.MaxInt64,
+	}
+	for i := range p.minNs {
+		p.minNs[i] = math.MaxInt64
+	}
+	return p
+}
+
+// Record accumulates one event hop from partition src to partition dst
+// with the given scheduling delay (the time between the decision and the
+// destination-side event firing). Out-of-range partitions clamp.
+func (p *ShardProfile) Record(src, dst int, delayNs int64) {
+	if src < 0 {
+		src = 0
+	} else if src >= p.parts {
+		src = p.parts - 1
+	}
+	if dst < 0 {
+		dst = 0
+	} else if dst >= p.parts {
+		dst = p.parts - 1
+	}
+	p.flow[src*p.parts+dst]++
+	if src == dst {
+		p.local++
+		return
+	}
+	p.cross++
+	if delayNs < 0 {
+		delayNs = 0
+	}
+	idx := src*p.parts + dst
+	if delayNs < p.minNs[idx] {
+		p.minNs[idx] = delayNs
+	}
+	if delayNs < p.minAll {
+		p.minAll = delayNs
+	}
+	p.hist[lookIndex(delayNs)]++
+}
+
+// lookIndex maps a delay to its log2-ns histogram class (0 = 0 ns,
+// 1 = 1 ns, 2 = 2–3 ns, …), capped.
+func lookIndex(delayNs int64) int {
+	if delayNs <= 0 {
+		return 0
+	}
+	i := 1
+	for delayNs > 1 && i < lookBuckets-1 {
+		delayNs >>= 1
+		i++
+	}
+	return i
+}
+
+// LookLabel names lookahead histogram class i in nanoseconds.
+func LookLabel(i int) string {
+	switch {
+	case i <= 0:
+		return "0"
+	case i == 1:
+		return "1"
+	case i == lookBuckets-1:
+		return itoa(1<<(i-1)) + "+"
+	default:
+		return itoa(1<<(i-1)) + "-" + itoa(1<<i-1)
+	}
+}
+
+// Parts returns the partition count.
+func (p *ShardProfile) Parts() int { return p.parts }
+
+// Local and Cross return intra-/inter-partition hop totals.
+func (p *ShardProfile) Local() uint64 { return p.local }
+func (p *ShardProfile) Cross() uint64 { return p.cross }
+
+// Flow returns a copy of the hop-count matrix (row = source partition).
+func (p *ShardProfile) Flow() [][]uint64 {
+	out := make([][]uint64, p.parts)
+	for i := 0; i < p.parts; i++ {
+		row := make([]uint64, p.parts)
+		copy(row, p.flow[i*p.parts:(i+1)*p.parts])
+		out[i] = row
+	}
+	return out
+}
+
+// MinLookaheadNs returns the global minimum cross-partition delay — the
+// conservative-sync window — and false when no cross-partition hop was
+// recorded.
+func (p *ShardProfile) MinLookaheadNs() (int64, bool) {
+	if p.minAll == math.MaxInt64 {
+		return 0, false
+	}
+	return p.minAll, true
+}
+
+// PairMinNs returns the minimum delay recorded from src to dst and false
+// when that pair saw no cross-partition hop.
+func (p *ShardProfile) PairMinNs(src, dst int) (int64, bool) {
+	if src < 0 || src >= p.parts || dst < 0 || dst >= p.parts {
+		return 0, false
+	}
+	v := p.minNs[src*p.parts+dst]
+	if v == math.MaxInt64 {
+		return 0, false
+	}
+	return v, true
+}
+
+// Hist returns the cross-partition delay histogram (class i per LookLabel).
+func (p *ShardProfile) Hist() [lookBuckets]uint64 { return p.hist }

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestShardProfileRecording(t *testing.T) {
+	p := NewShardProfile(3)
+	if p.Parts() != 3 {
+		t.Fatalf("parts = %d", p.Parts())
+	}
+	p.Record(0, 0, 500) // local: delay ignored for lookahead
+	p.Record(0, 1, 800)
+	p.Record(0, 1, 650)
+	p.Record(2, 0, 1200)
+
+	if p.Local() != 1 || p.Cross() != 3 {
+		t.Fatalf("local=%d cross=%d, want 1/3", p.Local(), p.Cross())
+	}
+	want := [][]uint64{{1, 2, 0}, {0, 0, 0}, {1, 0, 0}}
+	if got := p.Flow(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("flow = %v, want %v", got, want)
+	}
+	if min, ok := p.MinLookaheadNs(); !ok || min != 650 {
+		t.Fatalf("min lookahead = %d/%v, want 650", min, ok)
+	}
+	if v, ok := p.PairMinNs(0, 1); !ok || v != 650 {
+		t.Fatalf("pair(0,1) min = %d/%v, want 650", v, ok)
+	}
+	if v, ok := p.PairMinNs(2, 0); !ok || v != 1200 {
+		t.Fatalf("pair(2,0) min = %d/%v, want 1200", v, ok)
+	}
+	if _, ok := p.PairMinNs(1, 2); ok {
+		t.Fatal("pair(1,2) should have no recorded hop")
+	}
+	// Local hops never contribute to the lookahead.
+	if _, ok := p.PairMinNs(0, 0); ok {
+		t.Fatal("diagonal pairs must not report a lookahead")
+	}
+}
+
+func TestShardProfileClampsAndNegativeDelay(t *testing.T) {
+	p := NewShardProfile(2)
+	p.Record(-5, 99, -10) // clamps to partitions 0 and 1, delay to 0
+	if p.Cross() != 1 {
+		t.Fatalf("cross = %d", p.Cross())
+	}
+	if min, ok := p.MinLookaheadNs(); !ok || min != 0 {
+		t.Fatalf("clamped delay should report min 0, got %d/%v", min, ok)
+	}
+	hist := p.Hist()
+	if hist[0] != 1 {
+		t.Fatalf("hist = %v, want the clamped hop in bucket 0", hist)
+	}
+}
+
+func TestShardProfileHistBuckets(t *testing.T) {
+	p := NewShardProfile(2)
+	for _, d := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		p.Record(0, 1, d)
+	}
+	hist := p.Hist()
+	// lookIndex: 0→0, 1→1, 2-3→2, 4-7→3, 8-15→4, 512-1023→10, 1024-2047→11.
+	wants := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1}
+	for i, c := range hist {
+		if c != wants[i] {
+			t.Fatalf("hist[%d] = %d, want %d (full hist %v)", i, c, wants[i], hist)
+		}
+	}
+}
+
+func TestOccAndLookLabels(t *testing.T) {
+	for _, tc := range []struct {
+		i    int
+		want string
+	}{
+		{0, "0"}, {1, "1"}, {2, "2-3"}, {3, "4-7"}, {4, "8-15"},
+	} {
+		if got := OccLabel(tc.i); got != tc.want {
+			t.Fatalf("OccLabel(%d) = %q, want %q", tc.i, got, tc.want)
+		}
+		if got := LookLabel(tc.i); got != tc.want {
+			t.Fatalf("LookLabel(%d) = %q, want %q", tc.i, got, tc.want)
+		}
+	}
+	// The final class is open-ended.
+	if got := OccLabel(occBuckets - 1); got[len(got)-1] != '+' {
+		t.Fatalf("last occ label %q not open-ended", got)
+	}
+	if got := LookLabel(lookBuckets - 1); got[len(got)-1] != '+' {
+		t.Fatalf("last look label %q not open-ended", got)
+	}
+}

@@ -61,6 +61,11 @@ type Net struct {
 	reg *telemetry.Registry
 	// tracer is the attached in-band packet tracer, if any (observe.go).
 	tracer *telemetry.Tracer
+
+	// shardProf/shardGroup hold the enabled shard-affinity profile and its
+	// nodes-per-partition group size (engine_report.go).
+	shardProf  *sim.ShardProfile
+	shardGroup int
 }
 
 type layer struct {

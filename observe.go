@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"openoptics/internal/core"
+	"openoptics/internal/sim"
 	"openoptics/internal/telemetry"
 )
 
@@ -60,6 +61,8 @@ func (n *Net) Metrics() *telemetry.Registry {
 	n.registerFabrics(reg)
 	n.registerTracer(reg)
 	n.registerControl(reg)
+	n.registerPool(reg)
+	n.registerSched(reg)
 	if n.tracer != nil {
 		n.tracer.ObserveInto(reg)
 	}
@@ -136,6 +139,73 @@ func (n *Net) registerEngine(reg *telemetry.Registry) {
 		func(emit func([]telemetry.Label, float64)) {
 			for _, cs := range n.eng.ProfileStats() {
 				emit([]telemetry.Label{telemetry.L("class", cs.Class.String())}, float64(cs.WallNs))
+			}
+		})
+}
+
+// registerPool exposes the packet slab pool: live occupancy, high-water
+// mark, slab growth, and lifetime get/put volume (PR 8 left the pool
+// invisible at runtime; a leak shows up here as outstanding drifting up).
+func (n *Net) registerPool(reg *telemetry.Registry) {
+	reg.CounterFunc("oo_pool_gets_total", "Packet allocations from the slab pool.",
+		func() float64 { return float64(n.pool.Stats().Gets) })
+	reg.CounterFunc("oo_pool_puts_total", "Packets returned to the slab pool.",
+		func() float64 { return float64(n.pool.Stats().Puts) })
+	reg.CounterFunc("oo_pool_grows_total", "Slab materializations.",
+		func() float64 { return float64(n.pool.Stats().Grows) })
+	reg.GaugeFunc("oo_pool_slabs", "Packet slabs materialized.",
+		func() float64 { return float64(n.pool.Stats().Slabs) })
+	reg.GaugeFunc("oo_pool_outstanding", "Live (allocated, unfreed) packets.",
+		func() float64 { return float64(n.pool.Outstanding()) })
+	reg.GaugeFunc("oo_pool_high_water", "Most packets live at once.",
+		func() float64 { return float64(n.pool.Stats().HighWater) })
+	reg.GaugeFunc("oo_pool_free_len", "Recycled slots awaiting reuse.",
+		func() float64 { return float64(n.pool.Stats().FreeLen) })
+}
+
+// registerSched exposes the calendar queue's pressure counters: where
+// pushes land (inline array, spill heap, overflow heap), structural churn
+// (migrations, re-sorts, re-anchors), and residency high-water marks.
+func (n *Net) registerSched(reg *telemetry.Registry) {
+	for _, c := range []struct {
+		name, help string
+		read       func(sim.SchedPressure) float64
+	}{
+		{"oo_sched_inline_pushes_total", "Events pushed into a bucket's inline array.",
+			func(p sim.SchedPressure) float64 { return float64(p.InlinePushes) }},
+		{"oo_sched_spill_pushes_total", "Events pushed into a bucket's spill heap.",
+			func(p sim.SchedPressure) float64 { return float64(p.SpillPushes) }},
+		{"oo_sched_overflow_pushes_total", "Events pushed into the overflow heap.",
+			func(p sim.SchedPressure) float64 { return float64(p.OverflowPushes) }},
+		{"oo_sched_migrations_total", "Overflow→wheel event migrations.",
+			func(p sim.SchedPressure) float64 { return float64(p.Migrations) }},
+		{"oo_sched_resorts_total", "Drain-buffer sorts (batched dispatch).",
+			func(p sim.SchedPressure) float64 { return float64(p.Resorts) }},
+		{"oo_sched_reanchors_total", "Wheel window re-anchors.",
+			func(p sim.SchedPressure) float64 { return float64(p.Reanchors) }},
+	} {
+		c := c
+		reg.CounterFunc(c.name, c.help, func() float64 { return c.read(n.eng.SchedPressure()) })
+	}
+	reg.GaugeFunc("oo_sched_pending_events", "Events currently queued.",
+		func() float64 { return float64(n.eng.Pending()) })
+	reg.GaugeFunc("oo_sched_max_wheel_events", "High-water wheel residency.",
+		func() float64 { return float64(n.eng.SchedPressure().MaxWheelEvents) })
+	reg.GaugeFunc("oo_sched_max_overflow_events", "High-water overflow residency.",
+		func() float64 { return float64(n.eng.SchedPressure().MaxOverflowEvents) })
+	reg.GaugeFunc("oo_sched_slab_cap", "Event-slab capacity (slots).",
+		func() float64 { return float64(n.eng.SchedPressure().SlabCap) })
+	reg.GaugeFunc("oo_sched_free_slots", "Free event-slab slots.",
+		func() float64 { return float64(n.eng.SchedPressure().FreeSlots) })
+	reg.DynamicFamily("oo_sched_bucket_occupancy_total",
+		"Pushes by resulting bucket depth (log2 classes).", telemetry.TypeCounter,
+		func(emit func([]telemetry.Label, float64)) {
+			p := n.eng.SchedPressure()
+			for i, c := range p.BucketOccupancy {
+				if c == 0 {
+					continue
+				}
+				emit([]telemetry.Label{telemetry.L("depth", sim.OccLabel(i))}, float64(c))
 			}
 		})
 }

@@ -3,6 +3,7 @@ package openoptics
 import (
 	"openoptics/internal/core"
 	"openoptics/internal/fabric"
+	"openoptics/internal/sim"
 	"openoptics/internal/switchsim"
 	"openoptics/internal/telemetry"
 )
@@ -44,6 +45,13 @@ type NetSnapshot struct {
 	// Trace is the in-band tracer's counters and running latency
 	// attribution; nil when tracing is not attached.
 	Trace *telemetry.TraceStats `json:"trace,omitempty"`
+
+	// Engine is the scheduler-pressure snapshot (always present — the
+	// counters are collected unconditionally) and Pool the packet-pool
+	// statistics, so live watchers see engine health next to network
+	// health.
+	Engine sim.SchedPressure `json:"engine"`
+	Pool   core.PoolStats    `json:"pool"`
 }
 
 // LinkSnapshot is one optical-fabric link's bandwidth usage, identified by
@@ -105,5 +113,7 @@ func (n *Net) Snapshot() NetSnapshot {
 		ts := n.tracer.Stats()
 		snap.Trace = &ts
 	}
+	snap.Engine = n.eng.SchedPressure()
+	snap.Pool = n.pool.Stats()
 	return snap
 }
