@@ -1,5 +1,5 @@
 # Tier-1: what every change must keep green.
-.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke trace-smoke regress-smoke daware-smoke engine-smoke
+.PHONY: build test check bench bench-smoke sweep-smoke obsv-smoke trace-smoke regress-smoke daware-smoke engine-smoke diverge-smoke
 
 build:
 	go build ./...
@@ -16,7 +16,7 @@ test: build
 check: build
 	go vet ./...
 	go build -tags simdebug ./...
-	go test -tags simdebug ./internal/core ./internal/sim
+	go test -tags simdebug ./internal/core ./internal/sim ./cmd/ooctl
 	go test -race . ./cmd/... ./internal/...
 	go test -run TestInvariants .
 
@@ -73,3 +73,11 @@ daware-smoke:
 # ledger-off hot path held to its allocation ceiling. CI runs this.
 engine-smoke:
 	bash scripts/engine_smoke.sh
+
+# Determinism-auditor smoke: identical oosim runs produce byte-identical
+# digest journals and `ooctl diverge` exit 0; a run with one same-instant
+# event pair swapped (simdebug perturbation) exits 3 with the exact event
+# named; reports byte-deterministic; digest-off hot path held to its
+# allocation ceiling. CI runs this.
+diverge-smoke:
+	bash scripts/diverge_smoke.sh

@@ -24,6 +24,12 @@
 // scheduler-pressure counters, or the sharding-feasibility matrix
 // (engine.go).
 //
+// It also fronts the determinism auditor: `ooctl diverge` compares two
+// digest journals written by `oosim -digest-out`, finds the first
+// mismatched hash window, and — when the journals carry replay specs —
+// re-runs that window with per-event capture to name the exact first
+// divergent event, exiting 3 on divergence (diverge.go).
+//
 // Usage:
 //
 //	ooctl -n 8 -uplink 2 -topo roundrobin -routing vlb -lookup hop
@@ -36,6 +42,7 @@
 //	ooctl regress -baseline testdata/baselines/regress_base.summary.json run/summary.json
 //	ooctl engine chains run.engine.json
 //	ooctl engine shards run.engine.json
+//	ooctl diverge a.digest.jsonl b.digest.jsonl
 package main
 
 import (
@@ -66,6 +73,9 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "engine" {
 		os.Exit(runEngine(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "diverge" {
+		os.Exit(runDiverge(os.Args[2:]))
 	}
 	if len(os.Args) > 1 && (os.Args[1] == "-version" || os.Args[1] == "--version" || os.Args[1] == "version") {
 		fmt.Println(provenance.VersionString("ooctl"))

@@ -163,6 +163,10 @@ func renderSnapshot(s *openoptics.NetSnapshot, rateSuffix string) string {
 	fmt.Fprintf(&b, "engine: pending %d (max wheel %d)  spill %.2f%%  resorts %d  pool %d live / %d hw / %d slabs%s\n",
 		e.PendingEvents, e.MaxWheelEvents, spillPct, e.Resorts,
 		s.Pool.Outstanding, s.Pool.HighWater, s.Pool.Slabs, rateSuffix)
+	if d := s.Digest; d != nil {
+		fmt.Fprintf(&b, "auditor: events %d  windows %d  chain %s  checkpoints %d  violations %d\n",
+			d.Events, d.Windows, d.Chain, d.Checkpoints, d.Violations)
+	}
 
 	// Per-switch uplink occupancy summed per calendar-queue index.
 	k := 0

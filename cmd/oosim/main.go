@@ -23,6 +23,7 @@ import (
 
 	"openoptics"
 	"openoptics/internal/arch"
+	"openoptics/internal/diverge"
 	"openoptics/internal/obsv"
 	"openoptics/internal/provenance"
 	"openoptics/internal/sim"
@@ -63,6 +64,10 @@ func run() int {
 	engineLedgerSample := flag.Uint64("engine-ledger-sample", 64, "capture one full chain per this many root events (power of two)")
 	enginePartitions := flag.Int("engine-partitions", 0, "profile cross-partition event flow for this many ToR-group shards (0 disables)")
 	engineOut := flag.String("engine-out", "", "write the engine-observatory report (JSON) at exit")
+	digestOut := flag.String("digest-out", "", "attach the determinism auditor; write its digest journal (JSONL) at exit")
+	digestWindow := flag.Uint64("digest-window", 0, "events per digest window (power of two; 0 = 65536)")
+	digestCheckpointUs := flag.Int64("digest-checkpoint-us", 1000, "virtual µs between state checkpoints (<0 disables; checkpoints are engine events, so compared runs must match)")
+	perturbSwap := flag.String("perturb-swap", "", "swap scheduling sequence numbers A:B (simdebug builds; see a clean journal's perturb_hint)")
 	progressMs := flag.Int("progress-ms", 0, "print a virtual/real speed report every N virtual ms")
 	httpAddr := flag.String("http", "", "serve live observability (metrics, snapshot, pprof) on this address")
 	httpIntervalUs := flag.Int("http-interval-us", 1000, "virtual µs between live publications (with -http)")
@@ -149,6 +154,26 @@ func run() int {
 	if *metricsOut != "" || *httpAddr != "" {
 		in.Net.Metrics().SetManifest(&manifest)
 	}
+	// The perturbation harness arms before the auditor attaches: the swap
+	// relabels sequence numbers as they are assigned, and the digest's
+	// perturb hint only names seqs assigned after the attach point — so
+	// arming first guarantees a hinted pair is actually swappable.
+	var perturbA, perturbB uint64
+	if *perturbSwap != "" {
+		if _, err := fmt.Sscanf(*perturbSwap, "%d:%d", &perturbA, &perturbB); err != nil || perturbA == 0 || perturbB == 0 {
+			return fail(fmt.Errorf("bad -perturb-swap %q (want two nonzero sequence numbers A:B)", *perturbSwap))
+		}
+		if !eng.PerturbSwapSeq(perturbA, perturbB) {
+			return fail(fmt.Errorf("-perturb-swap needs an oosim built with `-tags simdebug`"))
+		}
+	}
+	var auditor *openoptics.Auditor
+	if *digestOut != "" {
+		auditor = in.Net.AttachDigest(openoptics.DigestOptions{
+			WindowEvents:      *digestWindow,
+			CheckpointEveryNs: *digestCheckpointUs * 1000,
+		})
+	}
 	var tracer *telemetry.Tracer
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -170,7 +195,15 @@ func run() int {
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "oosim: live observability on http://%s\n", addr)
-		if b, err := json.Marshal(manifest); err == nil {
+		ri := struct {
+			provenance.Manifest
+			Digest *openoptics.AuditStatus `json:"digest,omitempty"`
+		}{Manifest: manifest}
+		if auditor != nil {
+			st := auditor.Status()
+			ri.Digest = &st
+		}
+		if b, err := json.Marshal(ri); err == nil {
 			srv.RunInfo().Set(b)
 		}
 		in.Net.AttachLive(srv, time.Duration(*httpIntervalUs)*time.Microsecond)
@@ -315,6 +348,50 @@ func run() int {
 	}
 	if *engineOut != "" {
 		if err := writeEngineReport(in.Net, &manifest, *engineOut); err != nil {
+			return fail(err)
+		}
+	}
+	if auditor != nil {
+		// Flushed before the interrupted-run check so a SIGINT-drained run
+		// still leaves a (marked-interrupted) journal behind. The replay spec
+		// is recorded only for runs `ooctl diverge` can re-execute
+		// bit-exactly: replay workloads, flag-configured (a config file can
+		// tune parameters the spec does not carry), and with no live
+		// telemetry or progress reporting (both schedule engine events).
+		var rspec *diverge.ReplaySpec
+		switch *workload {
+		case "rpc", "hadoop", "kv":
+			if *cfgPath == "" && *httpAddr == "" && *progressMs == 0 {
+				rspec = &diverge.ReplaySpec{
+					Arch:              *archName,
+					Workload:          *workload,
+					Nodes:             o.Nodes,
+					Uplink:            o.Uplink,
+					HostsPerNode:      o.HostsPerNode,
+					SliceUs:           *sliceUs,
+					Load:              *load,
+					Seed:              o.Seed,
+					DurationMs:        *durMs,
+					HotFrac:           *hotFrac,
+					HotPairs:          *hotPairs,
+					LoadShape:         *loadShape,
+					ShapePeriodMs:     *shapePeriodMs,
+					ShapeAmplitude:    *shapeAmplitude,
+					WindowEvents:      auditor.Digest().WindowEvents(),
+					CheckpointEveryNs: auditor.CheckpointEveryNs(),
+					PerturbA:          perturbA,
+					PerturbB:          perturbB,
+				}
+				if *archName == "daware" {
+					rspec.Policy = *policy
+					rspec.Predictor = *predictor
+					rspec.CollectUs = *collectUs
+					rspec.ReprogramUs = *reprogramUs
+					rspec.DrainUs = *drainUs
+				}
+			}
+		}
+		if err := diverge.WriteFile(*digestOut, auditor.BuildJournal(&manifest, rspec)); err != nil {
 			return fail(err)
 		}
 	}

@@ -242,6 +242,41 @@ func (p *Packet) NextSR() (SRHop, bool) {
 // IsCtrl reports whether the packet is a control-plane message.
 func (p *Packet) IsCtrl() bool { return p.Flow.Proto == ProtoCtrl }
 
+// Mix64 is the splitmix64 finalizer: a cheap full-avalanche 64-bit
+// bijection. It is the shared folding primitive of the determinism
+// auditor — packet fingerprints here, dispatch digests in internal/sim,
+// and state-checkpoint hashes at the Net level all chain through it.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// EventFingerprint implements the determinism auditor's sim.Fingerprinted
+// contract: the node an event on this packet acts on (its destination)
+// and a 64-bit fingerprint over the packet's *value* identity. The fold
+// deliberately covers only plain scalar fields — ID, five tuple, endpoint
+// nodes, sizes, transport offsets, flags, control header, creation time.
+// Pointer-shaped state (Trace, the SR slice header, the pool back-pointer
+// and slot bookkeeping) is excluded by construction: addresses and slot
+// reuse patterns vary across processes even when the simulation is
+// bit-identical, and folding them would make every digest comparison
+// report false divergence.
+func (p *Packet) EventFingerprint() (node int32, fp uint64) {
+	k := &p.Flow
+	h := Mix64(p.ID ^ uint64(uint32(k.SrcHost))<<32 ^ uint64(uint32(k.DstHost)))
+	h = Mix64(h ^ uint64(k.SrcPort)<<48 ^ uint64(k.DstPort)<<32 ^ uint64(k.Proto)<<24 ^ uint64(p.Flags))
+	h = Mix64(h ^ uint64(uint32(p.SrcNode))<<32 ^ uint64(uint32(p.DstNode)))
+	h = Mix64(h ^ uint64(uint32(p.Size))<<32 ^ uint64(uint32(p.Payload)))
+	h = Mix64(h ^ uint64(p.Seq)<<32 ^ uint64(p.Ack))
+	h = Mix64(h ^ uint64(p.Created))
+	h = Mix64(h ^ uint64(p.Ctrl)<<56 ^ uint64(uint32(p.CtrlNode))<<24 ^ uint64(uint16(p.CtrlSlice)))
+	return int32(p.DstNode), h
+}
+
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt%d %v N%d=>N%d size=%d seq=%d", p.ID, p.Flow, p.SrcNode, p.DstNode, p.Size, p.Seq)
 }

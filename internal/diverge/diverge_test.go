@@ -1,0 +1,170 @@
+package diverge
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"openoptics/internal/provenance"
+)
+
+// testJournal builds a minimal well-formed journal with the given window
+// hashes (by value, chained arbitrarily) and totals.
+func testJournal(windowEvents uint64, hashes []string, events uint64, chain string) *Journal {
+	j := &Journal{
+		Header: Header{
+			SchemaVersion: SchemaVersion,
+			WindowEvents:  windowEvents,
+			Manifest:      &provenance.Manifest{SchemaVersion: provenance.SchemaVersion, ConfigDigest: "cfg"},
+		},
+		Final: FinalRec{Events: events, LastTNs: 12345, Chain: chain, Windows: len(hashes)},
+	}
+	for i, h := range hashes {
+		j.Windows = append(j.Windows, WindowRec{
+			Index: i, EndEvents: uint64(i+1) * windowEvents, EndTNs: int64(i) * 1000,
+			Hash: h, Chain: h,
+		})
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := testJournal(64, []string{Hex(1), Hex(2)}, 130, Hex(99))
+	j.Header.Replay = &ReplaySpec{Arch: "rotornet-vlb", Workload: "rpc", Nodes: 4, Seed: 7, DurationMs: 5, WindowEvents: 64}
+	j.Checkpoints = append(j.Checkpoints, CheckpointRec{TNs: 1000, Events: 80, StateHash: Hex(3), PoolGets: 10, PoolPuts: 10})
+	j.Violations = append(j.Violations, ViolationRec{TNs: 2000, Events: 100, Probe: "packet-conservation", Detail: "x"})
+	j.Final.Violations = 1
+	j.Final.PerturbHint = "5:6"
+
+	var buf bytes.Buffer
+	if err := Write(&buf, j); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header.WindowEvents != 64 || got.Header.Replay == nil || got.Header.Replay.Seed != 7 {
+		t.Fatalf("header mangled: %+v", got.Header)
+	}
+	if len(got.Windows) != 2 || got.Windows[1].Hash != Hex(2) {
+		t.Fatalf("windows mangled: %+v", got.Windows)
+	}
+	if len(got.Checkpoints) != 1 || got.Checkpoints[0].StateHash != Hex(3) {
+		t.Fatalf("checkpoints mangled: %+v", got.Checkpoints)
+	}
+	if len(got.Violations) != 1 || got.Violations[0].Probe != "packet-conservation" {
+		t.Fatalf("violations mangled: %+v", got.Violations)
+	}
+	if got.Final.Chain != Hex(99) || got.Final.PerturbHint != "5:6" {
+		t.Fatalf("final mangled: %+v", got.Final)
+	}
+
+	// Byte determinism: rewriting the parsed journal reproduces the bytes.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("journal bytes not stable across a read/write cycle:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	j := testJournal(64, []string{Hex(1)}, 64, Hex(1))
+	var buf bytes.Buffer
+	if err := Write(&buf, j); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	noFinal := bytes.Join(lines[:len(lines)-1], []byte("\n"))
+	if _, err := Read(bytes.NewReader(noFinal)); err == nil {
+		t.Fatal("journal without a final record parsed without error")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty journal parsed without error")
+	}
+}
+
+func TestCompareIdentical(t *testing.T) {
+	a := testJournal(64, []string{Hex(1), Hex(2)}, 130, Hex(9))
+	b := testJournal(64, []string{Hex(1), Hex(2)}, 130, Hex(9))
+	r, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Identical || !r.ConfigMatch || r.Window != nil {
+		t.Fatalf("identical journals compare as %+v", r)
+	}
+	var out bytes.Buffer
+	r.Render(&out)
+	if !strings.Contains(out.String(), "IDENTICAL") {
+		t.Fatalf("render lacks verdict:\n%s", out.String())
+	}
+}
+
+func TestCompareWindowMismatch(t *testing.T) {
+	a := testJournal(64, []string{Hex(1), Hex(2), Hex(3)}, 200, Hex(9))
+	b := testJournal(64, []string{Hex(1), Hex(5), Hex(6)}, 200, Hex(8))
+	r, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Identical {
+		t.Fatal("differing journals compare identical")
+	}
+	if r.Window == nil || r.Window.Index != 1 {
+		t.Fatalf("first divergent window = %+v, want index 1", r.Window)
+	}
+	if r.Window.StartEvents != 64 || r.Window.EndEvents != 128 {
+		t.Fatalf("window bounds [%d, %d), want [64, 128)", r.Window.StartEvents, r.Window.EndEvents)
+	}
+	// Render must be byte-deterministic.
+	var o1, o2 bytes.Buffer
+	r.Render(&o1)
+	r.Render(&o2)
+	if !bytes.Equal(o1.Bytes(), o2.Bytes()) {
+		t.Fatal("report render is not byte-deterministic")
+	}
+	if !strings.Contains(o1.String(), "DIVERGED") || !strings.Contains(o1.String(), "first divergent window: #1") {
+		t.Fatalf("render missing verdict/window:\n%s", o1.String())
+	}
+}
+
+func TestCompareTailDivergence(t *testing.T) {
+	// All closed windows match; one run simply processed more events.
+	a := testJournal(64, []string{Hex(1)}, 70, Hex(9))
+	b := testJournal(64, []string{Hex(1)}, 90, Hex(8))
+	r, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Identical || r.Window == nil {
+		t.Fatalf("tail divergence not localized: %+v", r)
+	}
+	if r.Window.Index != 1 || r.Window.StartEvents != 64 || r.Window.EndEvents != 71 {
+		t.Fatalf("tail window = %+v, want index 1 events [64, 71)", r.Window)
+	}
+}
+
+func TestCompareCheckpointMismatch(t *testing.T) {
+	a := testJournal(64, []string{Hex(1)}, 70, Hex(9))
+	b := testJournal(64, []string{Hex(1)}, 70, Hex(8))
+	a.Checkpoints = []CheckpointRec{{TNs: 1000, Events: 30, StateHash: Hex(11)}, {TNs: 2000, Events: 60, StateHash: Hex(12)}}
+	b.Checkpoints = []CheckpointRec{{TNs: 1000, Events: 30, StateHash: Hex(11)}, {TNs: 2000, Events: 60, StateHash: Hex(13)}}
+	r, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checkpoint == nil || r.Checkpoint.Index != 1 {
+		t.Fatalf("checkpoint diff = %+v, want index 1", r.Checkpoint)
+	}
+}
+
+func TestCompareRejectsWindowMismatch(t *testing.T) {
+	a := testJournal(64, nil, 10, Hex(1))
+	b := testJournal(128, nil, 10, Hex(1))
+	if _, err := Compare(a, b); err == nil {
+		t.Fatal("journals with different window granularity compared without error")
+	}
+}

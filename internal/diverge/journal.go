@@ -1,0 +1,292 @@
+// Package diverge defines the determinism auditor's on-disk journal — the
+// windowed event-digest hash-chain, state checkpoints, and invariant
+// violations one run emits (`oosim -digest-out`) — and the comparison that
+// finds where two journals first disagree. The package is pure data: it
+// imports only the sim types and the provenance manifest, so both the root
+// openoptics package (which writes journals) and ooctl (which compares
+// them) can use it. The re-run bisection that narrows a divergent window
+// to an exact event lives in the replay subpackage, which rebuilds
+// networks and therefore cannot be imported from the root.
+package diverge
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"openoptics/internal/provenance"
+	"openoptics/internal/sim"
+)
+
+// SchemaVersion is the journal and report schema version.
+const SchemaVersion = 1
+
+// Hex renders a 64-bit digest value the way every journal field stores it:
+// fixed-width lowercase hex, so journals and reports are byte-deterministic
+// and trivially diffable.
+func Hex(v uint64) string { return fmt.Sprintf("%016x", v) }
+
+// ReplaySpec records everything needed to re-execute the run that produced
+// a journal — architecture, workload, scale, seed, auditor cadence, and
+// any armed perturbation. Drivers only embed it when the run is actually
+// reproducible in-process (a pure synthetic-workload run with no
+// wall-clock-coupled telemetry events); without it `ooctl diverge` still
+// localizes divergence to a window, just not to an event.
+type ReplaySpec struct {
+	Arch         string  `json:"arch"`
+	Workload     string  `json:"workload"`
+	Nodes        int     `json:"nodes"`
+	Uplink       int     `json:"uplink,omitempty"`
+	HostsPerNode int     `json:"hosts_per_node,omitempty"`
+	SliceUs      int     `json:"slice_us,omitempty"`
+	Load         float64 `json:"load"`
+	Seed         uint64  `json:"seed"`
+	DurationMs   int     `json:"duration_ms"`
+
+	// Demand-aware control-loop knobs (arch "daware" only).
+	Policy      string `json:"policy,omitempty"`
+	Predictor   string `json:"predictor,omitempty"`
+	CollectUs   int64  `json:"collect_us,omitempty"`
+	ReprogramUs int64  `json:"reprogram_us,omitempty"`
+	DrainUs     int64  `json:"drain_us,omitempty"`
+
+	// Traffic shaping (load shapes, hot-pair skew).
+	HotFrac        float64 `json:"hot_frac,omitempty"`
+	HotPairs       int     `json:"hot_pairs,omitempty"`
+	LoadShape      string  `json:"load_shape,omitempty"`
+	ShapePeriodMs  int     `json:"shape_period_ms,omitempty"`
+	ShapeAmplitude float64 `json:"shape_amplitude,omitempty"`
+
+	// Auditor cadence: both alter the event stream (checkpoints are engine
+	// events), so a replay must reproduce them exactly.
+	WindowEvents      uint64 `json:"window_events"`
+	CheckpointEveryNs int64  `json:"checkpoint_every_ns,omitempty"`
+
+	// Armed perturbation (simdebug builds): the sequence-number pair
+	// PerturbSwapSeq swapped during the recorded run.
+	PerturbA uint64 `json:"perturb_a,omitempty"`
+	PerturbB uint64 `json:"perturb_b,omitempty"`
+}
+
+// Header is the journal's first line: run identity plus auditor geometry.
+type Header struct {
+	Kind              string               `json:"kind"` // "header"
+	SchemaVersion     int                  `json:"schema_version"`
+	Manifest          *provenance.Manifest `json:"manifest,omitempty"`
+	WindowEvents      uint64               `json:"window_events"`
+	CheckpointEveryNs int64                `json:"checkpoint_every_ns,omitempty"`
+	Replay            *ReplaySpec          `json:"replay,omitempty"`
+}
+
+// WindowRec is one closed digest window.
+type WindowRec struct {
+	Kind      string `json:"kind"` // "window"
+	Index     int    `json:"index"`
+	EndEvents uint64 `json:"end_events"`
+	EndTNs    int64  `json:"end_t_ns"`
+	Hash      string `json:"hash"`
+	Chain     string `json:"chain"`
+}
+
+// CheckpointRec is one periodic state checkpoint: a hash over the network
+// and pool state at a virtual instant, plus the raw pool conservation
+// terms so a mismatched checkpoint is readable without re-running.
+type CheckpointRec struct {
+	Kind            string `json:"kind"` // "checkpoint"
+	TNs             int64  `json:"t_ns"`
+	Events          uint64 `json:"events"`
+	StateHash       string `json:"state_hash"`
+	PoolGets        uint64 `json:"pool_gets"`
+	PoolPuts        uint64 `json:"pool_puts"`
+	PoolOutstanding int64  `json:"pool_outstanding"`
+}
+
+// ViolationRec is one invariant-probe violation.
+type ViolationRec struct {
+	Kind   string `json:"kind"` // "violation"
+	TNs    int64  `json:"t_ns"`
+	Events uint64 `json:"events"`
+	Probe  string `json:"probe"`
+	Detail string `json:"detail"`
+}
+
+// FinalRec is the journal's last line: stream totals and the running chain
+// including the open partial window, so two complete runs compare equal
+// iff their full dispatch streams matched.
+type FinalRec struct {
+	Kind        string `json:"kind"` // "final"
+	Events      uint64 `json:"events"`
+	LastTNs     int64  `json:"last_t_ns"`
+	Chain       string `json:"chain"`
+	Windows     int    `json:"windows"`
+	Checkpoints int    `json:"checkpoints"`
+	Violations  uint64 `json:"violations"`
+	// PerturbHint is the first same-instant adjacent dispatch pair whose
+	// order a sequence swap would invert ("a:b") — the operand a later
+	// `oosim -perturb-swap` run can use to inject a minimal fault.
+	PerturbHint string `json:"perturb_hint,omitempty"`
+	// Interrupted marks a journal flushed on the SIGINT graceful-drain
+	// path: complete up to the interrupt, comparable only against another
+	// run truncated at the same point.
+	Interrupted bool `json:"interrupted,omitempty"`
+}
+
+// Journal is one run's parsed digest journal.
+type Journal struct {
+	Header      Header
+	Windows     []WindowRec
+	Checkpoints []CheckpointRec
+	Violations  []ViolationRec
+	Final       FinalRec
+}
+
+// Write emits the journal as JSONL: header, windows, checkpoints,
+// violations, final — each a self-describing object with a "kind" field.
+func Write(w io.Writer, j *Journal) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	j.Header.Kind = "header"
+	if err := enc.Encode(&j.Header); err != nil {
+		return err
+	}
+	for i := range j.Windows {
+		j.Windows[i].Kind = "window"
+		if err := enc.Encode(&j.Windows[i]); err != nil {
+			return err
+		}
+	}
+	for i := range j.Checkpoints {
+		j.Checkpoints[i].Kind = "checkpoint"
+		if err := enc.Encode(&j.Checkpoints[i]); err != nil {
+			return err
+		}
+	}
+	for i := range j.Violations {
+		j.Violations[i].Kind = "violation"
+		if err := enc.Encode(&j.Violations[i]); err != nil {
+			return err
+		}
+	}
+	j.Final.Kind = "final"
+	if err := enc.Encode(&j.Final); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the journal to path.
+func WriteFile(path string, j *Journal) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, j); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a JSONL journal. Unknown kinds are skipped (forward
+// compatibility); a missing header or final line is an error.
+func Read(r io.Reader) (*Journal, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	j := &Journal{}
+	sawHeader, sawFinal := false, false
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var kind struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(b, &kind); err != nil {
+			return nil, fmt.Errorf("journal line %d: %w", line, err)
+		}
+		switch kind.Kind {
+		case "header":
+			if err := json.Unmarshal(b, &j.Header); err != nil {
+				return nil, fmt.Errorf("journal line %d: %w", line, err)
+			}
+			if j.Header.SchemaVersion > SchemaVersion {
+				return nil, fmt.Errorf("journal schema v%d is newer than this build understands (v%d)",
+					j.Header.SchemaVersion, SchemaVersion)
+			}
+			sawHeader = true
+		case "window":
+			var w WindowRec
+			if err := json.Unmarshal(b, &w); err != nil {
+				return nil, fmt.Errorf("journal line %d: %w", line, err)
+			}
+			j.Windows = append(j.Windows, w)
+		case "checkpoint":
+			var c CheckpointRec
+			if err := json.Unmarshal(b, &c); err != nil {
+				return nil, fmt.Errorf("journal line %d: %w", line, err)
+			}
+			j.Checkpoints = append(j.Checkpoints, c)
+		case "violation":
+			var v ViolationRec
+			if err := json.Unmarshal(b, &v); err != nil {
+				return nil, fmt.Errorf("journal line %d: %w", line, err)
+			}
+			j.Violations = append(j.Violations, v)
+		case "final":
+			if err := json.Unmarshal(b, &j.Final); err != nil {
+				return nil, fmt.Errorf("journal line %d: %w", line, err)
+			}
+			sawFinal = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("not a digest journal: no header line")
+	}
+	if !sawFinal {
+		return nil, fmt.Errorf("truncated digest journal: no final line")
+	}
+	return j, nil
+}
+
+// ReadFile parses the journal at path.
+func ReadFile(path string) (*Journal, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	j, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return j, nil
+}
+
+// EventRec is one dispatch in a report, rendered from a sim.CapturedEvent
+// with the class named and the fingerprint in hex.
+type EventRec struct {
+	Index       uint64 `json:"index"`
+	TNs         int64  `json:"t_ns"`
+	Seq         uint64 `json:"seq"`
+	Class       string `json:"class"`
+	Node        int32  `json:"node"`
+	Fingerprint string `json:"fingerprint"`
+	V           int64  `json:"v"`
+}
+
+// NewEventRec converts a captured dispatch to its report form.
+func NewEventRec(e sim.CapturedEvent) EventRec {
+	return EventRec{
+		Index: e.Index, TNs: e.TNs, Seq: e.Seq,
+		Class: e.Class.String(), Node: e.Node,
+		Fingerprint: Hex(e.Fingerprint), V: e.V,
+	}
+}

@@ -1,0 +1,242 @@
+// Package replay re-executes the run described by a digest journal's
+// ReplaySpec — the determinism auditor's bisection arm. Exploiting the
+// engine's bit-exact reproducibility, it rebuilds the same architecture,
+// workload, and auditor cadence, re-runs with per-event capture armed over
+// one divergent window, and names the exact first dispatch where two runs
+// part ways. It lives under internal/diverge rather than in it because it
+// imports the root openoptics package (it builds networks); the journal
+// format itself must stay importable *from* the root.
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"openoptics"
+	"openoptics/internal/arch"
+	"openoptics/internal/diverge"
+	"openoptics/internal/sim"
+	"openoptics/internal/traffic"
+)
+
+// Run is one re-execution's evidence: the rebuilt journal (for verifying
+// the replay reproduced the original run) and the captured events.
+type Run struct {
+	Auditor  *openoptics.Auditor
+	Journal  *diverge.Journal
+	Captured []sim.CapturedEvent
+}
+
+// Execute re-runs the spec with event capture armed over dispatch indexes
+// [capStart, capEnd) (equal bounds disable capture). The wiring order —
+// build architecture, endpoints and sink, attach auditor, arm
+// perturbation, start workload — mirrors the oosim driver exactly; any
+// reordering of event-scheduling calls would shift sequence numbers and
+// make every replay look divergent.
+func Execute(spec *diverge.ReplaySpec, capStart, capEnd uint64) (*Run, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("journal carries no replay spec (config-file, live-telemetry, or non-replay-workload run)")
+	}
+	o := arch.Options{
+		Nodes:           spec.Nodes,
+		Uplink:          spec.Uplink,
+		HostsPerNode:    spec.HostsPerNode,
+		SliceDurationNs: int64(spec.SliceUs) * 1000,
+		Seed:            spec.Seed,
+	}
+	if o.HostsPerNode == 0 {
+		o.HostsPerNode = 1
+	}
+	dc := arch.DemandConfig{
+		Policy:         spec.Policy,
+		Predictor:      spec.Predictor,
+		CollectEvery:   time.Duration(spec.CollectUs) * time.Microsecond,
+		ReprogramEvery: time.Duration(spec.ReprogramUs) * time.Microsecond,
+		DrainNs:        spec.DrainUs * 1000,
+	}
+	in, err := buildArch(spec.Arch, o, dc)
+	if err != nil {
+		return nil, err
+	}
+	eng := in.Net.Engine()
+	eps := in.Net.Endpoints()
+	_ = traffic.NewSink(eps)
+
+	// Arm the perturbation before attaching the auditor, mirroring oosim:
+	// the swap relabels seqs at assignment time, and Net.AttachDigest
+	// itself schedules the checkpoint event.
+	if spec.PerturbA != 0 || spec.PerturbB != 0 {
+		if !eng.PerturbSwapSeq(spec.PerturbA, spec.PerturbB) {
+			return nil, fmt.Errorf("journal was recorded with -perturb-swap %d:%d; replaying it needs a `-tags simdebug` build",
+				spec.PerturbA, spec.PerturbB)
+		}
+	}
+	cadence := spec.CheckpointEveryNs
+	if cadence == 0 {
+		cadence = -1 // the recorded run had checkpoints off; 0 would default them on
+	}
+	aud := in.Net.AttachDigest(openoptics.DigestOptions{
+		WindowEvents:      spec.WindowEvents,
+		CheckpointEveryNs: cadence,
+	})
+	if capEnd > capStart {
+		aud.Digest().SetCapture(capStart, capEnd)
+	}
+
+	cdf, err := traffic.ByName(spec.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("replay workload %q: %w", spec.Workload, err)
+	}
+	rp, err := traffic.NewReplay(eng, eps, cdf, spec.Load,
+		int64(in.Net.Cfg.LineRateGbps*1e9), spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rp.HotFrac = spec.HotFrac
+	rp.HotPairs = spec.HotPairs
+	if spec.LoadShape != "" && spec.LoadShape != "flat" {
+		shape := &traffic.LoadShape{
+			Kind:      spec.LoadShape,
+			PeriodNs:  int64(spec.ShapePeriodMs) * 1e6,
+			Amplitude: spec.ShapeAmplitude,
+		}
+		if err := shape.Validate(); err != nil {
+			return nil, err
+		}
+		rp.Shape = shape
+	}
+	dur := time.Duration(spec.DurationMs) * time.Millisecond
+	rp.Start(int64(dur))
+	if err := in.Run(dur + dur/4); err != nil {
+		return nil, err
+	}
+	return &Run{
+		Auditor:  aud,
+		Journal:  aud.BuildJournal(nil, spec),
+		Captured: aud.Digest().Captured(),
+	}, nil
+}
+
+// Bisect narrows a window-level divergence (rep.Window, from
+// diverge.Compare) to the exact first divergent event by re-running both
+// journals' specs with capture armed over the divergent window. Each
+// replay is verified against its journal's final chain before the capture
+// is trusted — a replay that fails to reproduce its own run (different
+// binary, build tags, or environment) is an error, not evidence.
+func Bisect(rep *diverge.Report, a, b *diverge.Journal, contextN int) error {
+	if rep.Identical || rep.Window == nil {
+		return nil
+	}
+	start, end := rep.Window.StartEvents, rep.Window.EndEvents
+	ra, err := Execute(a.Header.Replay, start, end)
+	if err != nil {
+		return fmt.Errorf("re-running journal A: %w", err)
+	}
+	if err := verifyReproduced("A", ra.Journal, a); err != nil {
+		return err
+	}
+	rb, err := Execute(b.Header.Replay, start, end)
+	if err != nil {
+		return fmt.Errorf("re-running journal B: %w", err)
+	}
+	if err := verifyReproduced("B", rb.Journal, b); err != nil {
+		return err
+	}
+	ca, cb := ra.Captured, rb.Captured
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	if contextN < 0 {
+		contextN = 0
+	}
+	for i := 0; i < n; i++ {
+		if ca[i] != cb[i] {
+			ea, eb := diverge.NewEventRec(ca[i]), diverge.NewEventRec(cb[i])
+			rep.Event = &diverge.EventDiff{
+				Kind:     "mismatch",
+				Index:    ca[i].Index,
+				A:        &ea,
+				B:        &eb,
+				ContextA: eventRecs(ca[maxInt(0, i-contextN):i]),
+				ContextB: eventRecs(cb[maxInt(0, i-contextN):i]),
+			}
+			return nil
+		}
+	}
+	if len(ca) != len(cb) {
+		d := &diverge.EventDiff{
+			Kind:     "length",
+			ContextA: eventRecs(ca[maxInt(0, n-contextN):n]),
+			ContextB: eventRecs(cb[maxInt(0, n-contextN):n]),
+		}
+		if len(ca) > n {
+			e := diverge.NewEventRec(ca[n])
+			d.A, d.Index = &e, ca[n].Index
+		} else {
+			e := diverge.NewEventRec(cb[n])
+			d.B, d.Index = &e, cb[n].Index
+		}
+		rep.Event = d
+		return nil
+	}
+	return fmt.Errorf("re-run captures over window [%d, %d) are identical; the journals' divergence is not reproducible from their specs", start, end)
+}
+
+func verifyReproduced(label string, got, want *diverge.Journal) error {
+	if got.Final.Chain != want.Final.Chain || got.Final.Events != want.Final.Events {
+		return fmt.Errorf("re-run did not reproduce journal %s (events %d chain %s, journal has %d %s): different binary, build tags, or an unreplayable run",
+			label, got.Final.Events, got.Final.Chain, want.Final.Events, want.Final.Chain)
+	}
+	return nil
+}
+
+func eventRecs(es []sim.CapturedEvent) []diverge.EventRec {
+	if len(es) == 0 {
+		return nil
+	}
+	out := make([]diverge.EventRec, len(es))
+	for i, e := range es {
+		out[i] = diverge.NewEventRec(e)
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// buildArch mirrors the oosim driver's architecture dispatch. Keep the two
+// in sync: a replayed journal records the oosim arch name verbatim.
+func buildArch(name string, o arch.Options, dc arch.DemandConfig) (*arch.Instance, error) {
+	switch name {
+	case "daware":
+		return arch.DemandAware(o, dc)
+	case "clos":
+		return arch.Clos(o)
+	case "c-through":
+		return arch.CThrough(o)
+	case "jupiter":
+		return arch.Jupiter(o)
+	case "mordia":
+		return arch.Mordia(o)
+	case "rotornet-vlb":
+		return arch.RotorNet(o, arch.SchemeVLB)
+	case "rotornet-direct":
+		return arch.RotorNet(o, arch.SchemeDirect)
+	case "rotornet-ucmp":
+		return arch.RotorNet(o, arch.SchemeUCMP)
+	case "rotornet-hoho":
+		return arch.RotorNet(o, arch.SchemeHOHO)
+	case "opera":
+		return arch.Opera(o)
+	case "semi-oblivious":
+		return arch.SemiOblivious(o)
+	case "shale":
+		return arch.Shale(o, 2)
+	}
+	return nil, fmt.Errorf("unknown architecture %q", name)
+}

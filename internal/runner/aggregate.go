@@ -98,6 +98,11 @@ type RepMetrics struct {
 	DemandEpochs  uint64  `json:"demand_epochs,omitempty"`
 	PredErrRatio  float64 `json:"pred_err_ratio,omitempty"`
 	Coverage      float64 `json:"coverage,omitempty"`
+
+	// Determinism-auditor metrics, present when the sweep set event_digest.
+	EventDigest         string `json:"event_digest,omitempty"`
+	Checkpoints         int    `json:"checkpoints,omitempty"`
+	InvariantViolations uint64 `json:"invariant_violations,omitempty"`
 }
 
 // NewAggregate builds the deterministic aggregate from raw ledger records.
@@ -160,6 +165,10 @@ func NewAggregate(name string, recs []Record) *Aggregate {
 			DemandEpochs:  res.DemandEpochs,
 			PredErrRatio:  res.PredErrRatio,
 			Coverage:      res.Coverage,
+
+			EventDigest:         res.EventDigest,
+			Checkpoints:         res.Checkpoints,
+			InvariantViolations: res.InvariantViolations,
 		}
 		if r.Scenario != nil {
 			rep.Rep = r.Scenario.Rep
@@ -191,6 +200,7 @@ var csvHeader = []string{
 	"buf_p999_bytes", "buf_max_bytes", "parked",
 	"policy", "predictor", "reconfigs", "reconfig_drops", "demand_epochs",
 	"pred_err_ratio", "coverage",
+	"event_digest", "checkpoints", "invariant_violations",
 }
 
 // WriteCSV renders the per-job table. Floats use the shortest exact
@@ -224,6 +234,9 @@ func (a *Aggregate) WriteCSV(w io.Writer) error {
 			strconv.FormatUint(res.ReconfigDrops, 10),
 			strconv.FormatUint(res.DemandEpochs, 10),
 			g(res.PredErrRatio), g(res.Coverage),
+			res.EventDigest,
+			strconv.Itoa(res.Checkpoints),
+			strconv.FormatUint(res.InvariantViolations, 10),
 		}
 		b.WriteString(strings.Join(row, ","))
 		b.WriteByte('\n')

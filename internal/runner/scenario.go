@@ -37,6 +37,7 @@ type Scenario struct {
 	MaxHop          int     `json:"max_hop,omitempty"`
 	Profile         string  `json:"profile"`
 	TraceSample     float64 `json:"trace_sample,omitempty"`
+	EventDigest     bool    `json:"event_digest,omitempty"`
 
 	// Demand-aware control-plane point (daware architecture only).
 	Policy            string `json:"policy,omitempty"`
@@ -144,6 +145,13 @@ type Result struct {
 	// bytes; Coverage the last epoch's matching-weight coverage.
 	PredErrRatio float64 `json:"pred_err_ratio,omitempty"`
 	Coverage     float64 `json:"coverage,omitempty"`
+
+	// Determinism-auditor measurement, present when the spec sets
+	// event_digest: the final digest chain over the job's whole dispatch
+	// stream, the state-checkpoint count, and invariant violations.
+	EventDigest         string `json:"event_digest,omitempty"`
+	Checkpoints         int    `json:"checkpoints,omitempty"`
+	InvariantViolations uint64 `json:"invariant_violations,omitempty"`
 }
 
 // ErrTimeout marks a job attempt that exceeded its wall-clock budget. It
@@ -175,6 +183,10 @@ func (sc Scenario) Run(opt RunOpts) (*Result, error) {
 		if opt.Manifest != nil {
 			reg.SetManifest(opt.Manifest)
 		}
+	}
+	var aud *openoptics.Auditor
+	if sc.EventDigest {
+		aud = in.Net.AttachDigest(openoptics.DigestOptions{})
 	}
 	var tracer *telemetry.Tracer
 	if sc.TraceSample > 0 {
@@ -240,6 +252,11 @@ func (sc Scenario) Run(opt RunOpts) (*Result, error) {
 		res.DemandEpochs = st.Epochs
 		res.PredErrRatio = st.PredErrRatio
 		res.Coverage = st.Coverage
+	}
+	if aud != nil {
+		res.EventDigest = aud.ChainHex()
+		res.Checkpoints = len(aud.Checkpoints())
+		res.InvariantViolations = aud.ViolationCount()
 	}
 	if tracer != nil {
 		ts := tracer.Stats()

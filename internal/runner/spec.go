@@ -105,6 +105,13 @@ type Spec struct {
 	// per-component latency attribution (slice-wait/queueing/
 	// serialization/propagation totals) for cross-run comparison.
 	TraceSample float64 `json:"trace_sample,omitempty"`
+	// EventDigest attaches the determinism auditor to every job, so results
+	// carry the run's event-stream digest chain, checkpoint count, and
+	// invariant-violation count. The auditor's checkpoints are engine
+	// events, so a digest-on sweep is a (deliberately) different resolved
+	// config than a digest-off one; omitempty keeps pre-existing specs'
+	// digests unchanged.
+	EventDigest bool `json:"event_digest,omitempty"`
 
 	// Seed is the sweep master seed; per-job seeds fork from it. The zero
 	// value means 42 — set SeedSet to request a literal zero seed.
@@ -355,6 +362,7 @@ func (s *Spec) Expand() []Job {
 												MaxHop:          d.MaxHop,
 												Profile:         d.Profile,
 												TraceSample:     d.TraceSample,
+												EventDigest:     d.EventDigest,
 												Policy:          po,
 												Predictor:       pr,
 												CollectIntervalUs: ci,

@@ -47,6 +47,16 @@ type Engine struct {
 	curChain    int32
 	curKids     int32
 	chainHanded bool
+
+	// Determinism auditor (digest.go): nil when detached, one branch per
+	// dispatch.
+	digest *EventDigest
+
+	// Perturbation harness (digest.go, simdebug builds only): when armed,
+	// the events that would receive sequence numbers perturbA and perturbB
+	// receive each other's instead, inverting one same-instant dispatch
+	// pair's order. The swap branch is compiled out of normal builds.
+	perturbA, perturbB uint64
 }
 
 // New returns an engine with the clock at zero.
@@ -75,12 +85,29 @@ func (e *Engine) AtClass(t int64, class Class, fn func()) {
 		}
 		t = e.now
 	}
-	e.seq++
+	seq := e.nextSeq()
 	var chain int32
 	if e.ledger != nil {
 		chain = e.ledgerSchedule(t, class)
 	}
-	e.sched.push(t, e.seq, eventRec{fn: fn, class: class, chain: chain})
+	e.sched.push(t, seq, eventRec{fn: fn, class: class, chain: chain})
+}
+
+// nextSeq allocates the next scheduling sequence number, applying the
+// simdebug perturbation swap (PerturbSwapSeq) when armed. e.seq itself
+// always advances monotonically — only the number handed to the scheduler
+// is swapped — so ledger sampling and digest bookkeeping stay untouched.
+func (e *Engine) nextSeq() uint64 {
+	e.seq++
+	s := e.seq
+	if simDebug && e.perturbB != 0 {
+		if s == e.perturbA {
+			s = e.perturbB
+		} else if s == e.perturbB {
+			s = e.perturbA
+		}
+	}
+	return s
 }
 
 // AtEvent schedules a pre-bound action at time t: at dispatch, act.RunEvent
@@ -100,12 +127,12 @@ func (e *Engine) AtEvent(t int64, class Class, act Action, arg any, v int64) {
 		}
 		t = e.now
 	}
-	e.seq++
+	seq := e.nextSeq()
 	var chain int32
 	if e.ledger != nil {
 		chain = e.ledgerSchedule(t, class)
 	}
-	e.sched.push(t, e.seq, eventRec{act: act, arg: arg, v: v, class: class, chain: chain})
+	e.sched.push(t, seq, eventRec{act: act, arg: arg, v: v, class: class, chain: chain})
 }
 
 // AfterEvent is AtEvent d nanoseconds from now.
@@ -212,10 +239,10 @@ func (e *Engine) RunUntil(deadline int64) {
 				e.now = deadline
 				return
 			}
-			t, rec := s.takeOverflow()
+			t, seq, rec := s.takeOverflow()
 			e.now = t
 			e.Processed++
-			e.dispatch(rec)
+			e.dispatch(rec, seq)
 			continue
 		}
 		if b.peek().t > deadline {
@@ -261,15 +288,16 @@ func (e *Engine) RunUntil(deadline int64) {
 				return
 			}
 			var t int64
+			var seq uint64
 			var rec eventRec
 			if fromBucket {
-				t, rec = s.takeBucket(b)
+				t, seq, rec = s.takeBucket(b)
 			} else {
-				t, rec = s.takeDrained()
+				t, seq, rec = s.takeDrained()
 			}
 			e.now = t
 			e.Processed++
-			e.dispatch(rec)
+			e.dispatch(rec, seq)
 			if e.halted || s.anchorGen != gen {
 				break
 			}
@@ -288,9 +316,14 @@ func (e *Engine) RunUntil(deadline int64) {
 }
 
 // dispatch invokes one event's handler with class accounting (and wall-
-// clock attribution while profiling).
-func (e *Engine) dispatch(rec eventRec) {
+// clock attribution while profiling). seq is the event's scheduling
+// sequence number — the second half of the deterministic (t, seq) total
+// order — consumed only by the determinism auditor's digest.
+func (e *Engine) dispatch(rec eventRec, seq uint64) {
 	e.classCount[rec.class]++
+	if e.digest != nil {
+		e.digestRecord(rec, seq)
+	}
 	if e.ledger != nil {
 		e.dispatchLedgered(rec)
 		return

@@ -280,25 +280,27 @@ func (s *scheduler) min() *bucket {
 	return b
 }
 
-// recycle frees the popped item's slab slot and returns its payload.
-func (s *scheduler) recycle(it item) (t int64, rec eventRec) {
+// recycle frees the popped item's slab slot and returns its payload. The
+// sequence number rides along so dispatch (and the determinism auditor's
+// digest) sees the full (t, seq) identity of the event it executes.
+func (s *scheduler) recycle(it item) (t int64, seq uint64, rec eventRec) {
 	s.n--
 	r := &s.slab[it.slot]
 	rec = *r
 	*r = eventRec{} // drop closure/operand references; the slot is free for reuse
 	s.free = append(s.free, it.slot)
-	return it.t, rec
+	return it.t, it.seq, rec
 }
 
 // takeBucket pops the earliest event from wheel bucket b.
-func (s *scheduler) takeBucket(b *bucket) (t int64, rec eventRec) {
+func (s *scheduler) takeBucket(b *bucket) (t int64, seq uint64, rec eventRec) {
 	it := b.pop()
 	s.wheelCount--
 	return s.recycle(it)
 }
 
 // takeOverflow pops the earliest event from the overflow heap.
-func (s *scheduler) takeOverflow() (t int64, rec eventRec) {
+func (s *scheduler) takeOverflow() (t int64, seq uint64, rec eventRec) {
 	return s.recycle(s.overflow.pop())
 }
 
@@ -339,7 +341,7 @@ func (s *scheduler) beginDrain(b *bucket) {
 
 // takeDrained consumes the drain buffer's front event and recycles its
 // slab slot — the sorted-array counterpart of takeBucket.
-func (s *scheduler) takeDrained() (t int64, rec eventRec) {
+func (s *scheduler) takeDrained() (t int64, seq uint64, rec eventRec) {
 	it := s.drainBuf[s.drainPos]
 	s.drainPos++
 	s.wheelCount--

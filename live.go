@@ -56,6 +56,9 @@ func (n *Net) PublishLive(srv *obsv.Server) {
 // post-rotation. Calendar-off (static/TA) networks never rotate and
 // produce no samples.
 func (n *Net) AttachFlightRecorder(rec *obsv.FlightRecorder, withData bool) {
+	// The determinism auditor dumps the ring when an invariant probe
+	// fires, preserving the slices leading up to the violation.
+	n.flightDump = rec.Dump
 	if len(n.switches) == 0 {
 		return
 	}

@@ -66,6 +66,12 @@ type Net struct {
 	// nodes-per-partition group size (engine_report.go).
 	shardProf  *sim.ShardProfile
 	shardGroup int
+
+	// audit is the attached determinism auditor (audit.go), nil when off.
+	audit *Auditor
+	// flightDump, set by AttachFlightRecorder, forces a flight-recorder
+	// dump with a reason — the auditor fires it on invariant violations.
+	flightDump func(reason string)
 }
 
 type layer struct {

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Determinism-auditor smoke: record two identical oosim runs with the
+# digest journal on — `ooctl diverge` must pass them as IDENTICAL (exit 0)
+# and the journals themselves must be byte-identical modulo the manifest's
+# wall-clock start. Then re-run with exactly one same-instant event pair
+# swapped (the clean journal's perturb hint, via the simdebug-only
+# -perturb-swap harness) — `ooctl diverge` must exit 3 and bisect to that
+# exact event, with a byte-deterministic report. A final digest-off run
+# holds the hot path to its allocation budget. CI runs this via
+# `make diverge-smoke`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# The perturbation harness is compiled out of normal builds; the smoke
+# needs simdebug binaries for both the recorder and the bisection re-run.
+go build -tags simdebug -o "$tmp/oosim" ./cmd/oosim
+go build -tags simdebug -o "$tmp/ooctl" ./cmd/ooctl
+
+run_oosim() { # $1 = journal path, rest = extra flags
+    local out="$1"; shift
+    "$tmp/oosim" -nodes 16 -arch rotornet-vlb -workload rpc -load 0.3 \
+        -duration-ms 20 -seed 7 -digest-out "$out" "$@" \
+        >"$tmp/out.log" 2>"$tmp/err.log"
+}
+
+run_oosim "$tmp/a.digest.jsonl"
+run_oosim "$tmp/b.digest.jsonl"
+[ -s "$tmp/a.digest.jsonl" ] || { echo "oosim wrote no digest journal"; cat "$tmp/err.log"; exit 1; }
+
+# Journal determinism: identical runs, identical bytes modulo started_at.
+for f in a b; do
+    sed 's/"started_at":"[^"]*"/"started_at":""/' "$tmp/$f.digest.jsonl" >"$tmp/$f.masked.jsonl"
+done
+cmp "$tmp/a.masked.jsonl" "$tmp/b.masked.jsonl" || { echo "digest journal not deterministic"; exit 1; }
+
+# Identical journals: exit 0, IDENTICAL verdict.
+"$tmp/ooctl" diverge "$tmp/a.digest.jsonl" "$tmp/b.digest.jsonl" | tee "$tmp/same.txt"
+grep -q 'verdict: IDENTICAL' "$tmp/same.txt"
+
+# Perturb: swap the one same-instant pair the clean journal hints at.
+hint="$(sed -n 's/.*"perturb_hint":"\([0-9]*:[0-9]*\)".*/\1/p' "$tmp/a.digest.jsonl")"
+[ -n "$hint" ] || { echo "clean journal carries no perturb hint"; exit 1; }
+echo "perturbing with -perturb-swap $hint"
+run_oosim "$tmp/p.digest.jsonl" -perturb-swap "$hint"
+
+rc=0
+"$tmp/ooctl" diverge "$tmp/a.digest.jsonl" "$tmp/p.digest.jsonl" >"$tmp/diverged.txt" || rc=$?
+cat "$tmp/diverged.txt"
+[ "$rc" -eq 3 ] || { echo "ooctl diverge exited $rc on a perturbed run, want 3"; exit 1; }
+grep -q 'verdict: DIVERGED' "$tmp/diverged.txt"
+grep -q 'first divergent window: #' "$tmp/diverged.txt"
+# Bisection names the exact first divergent event: the swapped pair's
+# lower sequence number, with full (t, seq, class, node) identification.
+grep -q 'first divergent event: index' "$tmp/diverged.txt"
+lo="${hint%%:*}"; hi="${hint##*:}"
+if [ "$hi" -lt "$lo" ]; then lo="$hi"; fi
+grep -q "seq=$lo " "$tmp/diverged.txt" || { echo "report does not name swapped seq $lo"; exit 1; }
+grep -Eq 't=[0-9]+ns seq=[0-9]+ class=[a-z.]+ node=[0-9]+' "$tmp/diverged.txt"
+
+# The divergence report is byte-deterministic (bisection re-runs included).
+rc2=0
+"$tmp/ooctl" diverge "$tmp/a.digest.jsonl" "$tmp/p.digest.jsonl" >"$tmp/diverged.2.txt" || rc2=$?
+[ "$rc2" -eq 3 ]
+cmp "$tmp/diverged.txt" "$tmp/diverged.2.txt" || { echo "diverge report not deterministic"; exit 1; }
+
+# Digest off (the default) keeps the hot path at its allocation budget:
+# the auditor must be zero-cost when not attached.
+go test -run '^$' -bench 'BenchmarkEndToEndPacketRate$' -benchtime 100x -benchmem . | tee "$tmp/allocs.txt"
+awk '/^BenchmarkEndToEndPacketRate/ { seen=1; a=$(NF-1)+0; if (a > 150) { printf "FAIL: %d allocs/op exceeds the 150 ceiling with the digest off\n", a; exit 1 } printf "allocs/op gate: %d <= 150\n", a } END { if (!seen) { print "FAIL: benchmark did not run"; exit 1 } }' "$tmp/allocs.txt"
+
+echo "diverge smoke OK"

@@ -52,6 +52,10 @@ type NetSnapshot struct {
 	// health.
 	Engine sim.SchedPressure `json:"engine"`
 	Pool   core.PoolStats    `json:"pool"`
+
+	// Digest is the determinism auditor's live status; nil when no
+	// auditor is attached.
+	Digest *AuditStatus `json:"digest,omitempty"`
 }
 
 // LinkSnapshot is one optical-fabric link's bandwidth usage, identified by
@@ -115,5 +119,9 @@ func (n *Net) Snapshot() NetSnapshot {
 	}
 	snap.Engine = n.eng.SchedPressure()
 	snap.Pool = n.pool.Stats()
+	if n.audit != nil {
+		st := n.audit.Status()
+		snap.Digest = &st
+	}
 	return snap
 }
